@@ -1,0 +1,228 @@
+package stabledispatch
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one per figure, §VI), plus micro-benchmarks for the core
+// algorithms. Figure benches run the shrunken Quick configuration so the
+// default `go test -bench=.` pass stays tractable; `cmd/benchfig`
+// regenerates the figures at paper scale.
+
+import (
+	"fmt"
+	"testing"
+
+	"stabledispatch/internal/exp"
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/geo"
+	"stabledispatch/internal/match"
+	"stabledispatch/internal/pref"
+	"stabledispatch/internal/share"
+	"stabledispatch/internal/stable"
+	"stabledispatch/internal/trace"
+)
+
+func benchOptions() exp.Options {
+	o := exp.QuickOptions()
+	o.Frames = 60
+	o.VolumeScale = 0.05
+	o.TaxiScale = 0.05
+	return o
+}
+
+func benchmarkFigure(b *testing.B, id string) {
+	b.Helper()
+	o := benchOptions()
+	run := exp.Figures()[id]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := run(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Panels) != 3 {
+			b.Fatalf("%s produced %d panels", id, len(fig.Panels))
+		}
+	}
+}
+
+// BenchmarkFig4NonSharingNewYork regenerates Fig. 4: non-sharing CDFs on
+// the New York workload.
+func BenchmarkFig4NonSharingNewYork(b *testing.B) { benchmarkFigure(b, "fig4") }
+
+// BenchmarkFig5NonSharingBoston regenerates Fig. 5: non-sharing CDFs on
+// the Boston workload.
+func BenchmarkFig5NonSharingBoston(b *testing.B) { benchmarkFigure(b, "fig5") }
+
+// BenchmarkFig6TaxiCountSweep regenerates Fig. 6: metric averages vs
+// fleet size.
+func BenchmarkFig6TaxiCountSweep(b *testing.B) { benchmarkFigure(b, "fig6") }
+
+// BenchmarkFig7ClockTimeSweep regenerates Fig. 7: metric averages vs
+// clock time.
+func BenchmarkFig7ClockTimeSweep(b *testing.B) { benchmarkFigure(b, "fig7") }
+
+// BenchmarkFig8SharingNewYork regenerates Fig. 8: sharing CDFs on the
+// New York workload.
+func BenchmarkFig8SharingNewYork(b *testing.B) { benchmarkFigure(b, "fig8") }
+
+// BenchmarkFig9SharingBoston regenerates Fig. 9: sharing CDFs on the
+// Boston workload.
+func BenchmarkFig9SharingBoston(b *testing.B) { benchmarkFigure(b, "fig9") }
+
+// benchWorld builds one dispatch frame's worth of requests and taxis.
+func benchWorld(b *testing.B, nReqs, nTaxis int) ([]fleet.Request, []fleet.Taxi) {
+	b.Helper()
+	city := trace.Boston()
+	cfg := trace.Config{City: city, Frames: 60, RequestsPerDay: nReqs * 24, Seats: 3, Seed: 9}
+	reqs, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(reqs) > nReqs {
+		reqs = reqs[:nReqs]
+	}
+	taxis, err := trace.Taxis(city, nTaxis, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reqs, taxis
+}
+
+// BenchmarkAlgorithm1 measures one passenger-optimal stable matching on
+// a frame-sized market (Algorithm 1).
+func BenchmarkAlgorithm1(b *testing.B) {
+	for _, size := range []struct{ r, t int }{{50, 100}, {100, 400}, {200, 700}} {
+		b.Run(fmt.Sprintf("%dx%d", size.r, size.t), func(b *testing.B) {
+			reqs, taxis := benchWorld(b, size.r, size.t)
+			inst, err := pref.NewInstance(reqs, taxis, geo.EuclidMetric, pref.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := stable.PassengerOptimal(&inst.Market)
+				if len(m.ReqPartner) != len(reqs) {
+					b.Fatal("bad matching")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAlgorithm2 measures the all-stable-matchings enumeration.
+func BenchmarkAlgorithm2(b *testing.B) {
+	reqs, taxis := benchWorld(b, 60, 120)
+	inst, err := pref.NewInstance(reqs, taxis, geo.EuclidMetric, pref.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all := stable.AllStableMatchings(&inst.Market, 64)
+		if len(all) == 0 {
+			b.Fatal("no matchings")
+		}
+	}
+}
+
+// BenchmarkHungarian measures the MinCost baseline's assignment solver.
+func BenchmarkHungarian(b *testing.B) {
+	reqs, taxis := benchWorld(b, 100, 400)
+	cost := make([][]float64, len(reqs))
+	for j, r := range reqs {
+		cost[j] = make([]float64, len(taxis))
+		for i, t := range taxis {
+			cost[j][i] = geo.Euclid(t.Pos, r.Pickup)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := match.MinCost(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBottleneck measures the bottleneck-matching baseline.
+func BenchmarkBottleneck(b *testing.B) {
+	reqs, taxis := benchWorld(b, 100, 400)
+	cost := make([][]float64, len(reqs))
+	for j, r := range reqs {
+		cost[j] = make([]float64, len(taxis))
+		for i, t := range taxis {
+			cost[j][i] = geo.Euclid(t.Pos, r.Pickup)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := match.Bottleneck(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPackRequests measures Algorithm 3's packing stage (feasible
+// groups + maximum set packing).
+func BenchmarkPackRequests(b *testing.B) {
+	reqs, _ := benchWorld(b, 60, 1)
+	cfg := share.PackConfig{Theta: 5, MaxGroupSize: 3, PairRadius: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := share.Pack(reqs, geo.EuclidMetric, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSharedRoute measures the exhaustive three-rider route search.
+func BenchmarkSharedRoute(b *testing.B) {
+	reqs, _ := benchWorld(b, 3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := share.BestRoute(reqs, geo.EuclidMetric); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMaxNet regenerates the taxi-threshold ablation sweep.
+func BenchmarkAblationMaxNet(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationMaxNet(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTheta regenerates the sharing detour-bound sweep.
+func BenchmarkAblationTheta(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationTheta(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStableVariant compares the four stable selections.
+func BenchmarkAblationStableVariant(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationStableVariant(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

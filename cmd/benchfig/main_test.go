@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func quickArgs(fig string) []string {
+	return []string{
+		"-fig", fig, "-quick",
+		"-frames", "30", "-volume-scale", "0.04", "-taxi-scale", "0.04",
+	}
+}
+
+func TestRunOneFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("fig5"), &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fig5", "dispatch delay CDF", "NSTD-P", "Bottleneck", "regenerated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSharingFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("fig9"), &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"STD-P", "RAII", "SARP", "ILP"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "fig42"}, &sb); err == nil {
+		t.Error("accepted unknown figure")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("accepted unknown flag")
+	}
+}
+
+func TestRunPlotMode(t *testing.T) {
+	var sb strings.Builder
+	args := append(quickArgs("fig5"), "-plot")
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "+---") && !strings.Contains(out, "+----") {
+		t.Errorf("plot mode produced no chart axis:\n%.400s", out)
+	}
+	if !strings.Contains(out, "* NSTD-P") {
+		t.Errorf("plot legend missing:\n%.400s", out)
+	}
+}
+
+func TestRunJSONMode(t *testing.T) {
+	var sb strings.Builder
+	args := append(quickArgs("fig5"), "-json")
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var figures []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &figures); err != nil {
+		t.Fatalf("output is not JSON: %v\n%.300s", err, sb.String())
+	}
+	if len(figures) != 1 || figures[0]["id"] != "fig5" {
+		t.Errorf("figures = %v", figures)
+	}
+}

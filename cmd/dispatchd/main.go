@@ -1,0 +1,171 @@
+// Command dispatchd is an O2O dispatch daemon: it keeps a live fleet
+// simulation behind a JSON HTTP API, dispatching with the paper's stable
+// matching (or any baseline). Passengers POST ride requests; each POST
+// /v1/tick advances one one-minute dispatch frame.
+//
+//	dispatchd -addr :8080 -city boston -taxis 200 -algo nstd-p
+//
+// API:
+//
+//	POST /v1/requests       {"pickup":{"x":1,"y":2},"dropoff":{"x":3,"y":4},"seats":1}
+//	POST /v1/tick           {"frames":1}
+//	GET  /v1/taxis
+//	GET  /v1/requests/{id}
+//	GET  /v1/report
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"stabledispatch/internal/carpool"
+	"stabledispatch/internal/dispatch"
+	"stabledispatch/internal/pref"
+	"stabledispatch/internal/share"
+	"stabledispatch/internal/sim"
+	"stabledispatch/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dispatchd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dispatchd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		cityName = fs.String("city", "boston", "city model: boston or newyork")
+		taxis    = fs.Int("taxis", 200, "fleet size")
+		algo     = fs.String("algo", "nstd-p", "dispatch algorithm")
+		seed     = fs.Int64("seed", 42, "random seed for taxi placement")
+		theta    = fs.Float64("theta", 5, "sharing detour bound in km")
+		auto     = fs.Duration("auto", 0, "advance one frame automatically at this interval (0 = manual /v1/tick only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var city trace.City
+	switch *cityName {
+	case "boston":
+		city = trace.Boston()
+	case "newyork":
+		city = trace.NewYork()
+	default:
+		return fmt.Errorf("unknown city %q", *cityName)
+	}
+	fleetTaxis, err := trace.Taxis(city, *taxis, *seed)
+	if err != nil {
+		return err
+	}
+	d, err := daemonDispatcher(*algo, *theta)
+	if err != nil {
+		return err
+	}
+	events := newEventBuffer(10000)
+	s, err := sim.New(sim.Config{
+		Params:     pref.DefaultParams(),
+		Dispatcher: d,
+		Events:     events,
+	}, fleetTaxis, nil)
+	if err != nil {
+		return err
+	}
+
+	server := newServer(s).withEvents(events)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Optional wall-clock frame advancement, with a managed lifetime:
+	// the ticker goroutine stops (and is waited for) on shutdown.
+	var (
+		stopTicker = make(chan struct{})
+		tickerDone = make(chan struct{})
+	)
+	if *auto > 0 {
+		go func() {
+			defer close(tickerDone)
+			ticker := time.NewTicker(*auto)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := server.step(); err != nil {
+						log.Printf("dispatchd: auto tick: %v", err)
+					}
+				case <-stopTicker:
+					return
+				}
+			}
+		}()
+	} else {
+		close(tickerDone)
+	}
+	defer func() {
+		close(stopTicker)
+		<-tickerDone
+	}()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("dispatchd: %s on %s (%d taxis, %s)", d.Name(), *addr, *taxis, city.Name)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
+func daemonDispatcher(name string, theta float64) (sim.Dispatcher, error) {
+	packCfg := share.PackConfig{Theta: theta, MaxGroupSize: 3, PairRadius: 2 * theta}
+	carpoolCfg := carpool.Config{Theta: theta, MaxAdded: 2 * theta, SearchRadius: 2 * theta}
+	switch name {
+	case "nstd-p":
+		return dispatch.NewNSTDP(), nil
+	case "nstd-t":
+		return dispatch.NewNSTDT(), nil
+	case "greedy":
+		return dispatch.NewGreedy(), nil
+	case "mincost":
+		return dispatch.NewMinCost(), nil
+	case "bottleneck":
+		return dispatch.NewBottleneck(), nil
+	case "std-p":
+		return dispatch.NewSTDP(packCfg), nil
+	case "std-t":
+		return dispatch.NewSTDT(packCfg), nil
+	case "raii":
+		return carpool.NewRAII(carpoolCfg), nil
+	case "sarp":
+		return carpool.NewSARP(carpoolCfg), nil
+	case "ilp":
+		return carpool.NewILP(packCfg), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

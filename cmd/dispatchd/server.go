@@ -1,0 +1,312 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/geo"
+	"stabledispatch/internal/sim"
+	"stabledispatch/internal/stats"
+)
+
+// server wraps a live simulator behind a JSON HTTP API: the O2O platform
+// view of the dispatcher. Passengers POST requests, an operator (or a
+// timer) POSTs ticks to advance dispatch frames, and anyone can read the
+// fleet and the running metrics.
+type server struct {
+	mu     sync.Mutex
+	sim    *sim.Simulator
+	events *eventBuffer
+	nextID int
+}
+
+func newServer(s *sim.Simulator) *server {
+	return &server{sim: s}
+}
+
+// withEvents attaches the event buffer served at /v1/events.
+func (s *server) withEvents(b *eventBuffer) *server {
+	s.events = b
+	return s
+}
+
+// step advances one frame under the server lock; the auto-ticker uses it.
+func (s *server) step() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sim.Step()
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/requests", s.postRequest)
+	mux.HandleFunc("POST /v1/tick", s.postTick)
+	mux.HandleFunc("GET /v1/taxis", s.getTaxis)
+	mux.HandleFunc("GET /v1/report", s.getReport)
+	mux.HandleFunc("GET /v1/requests/{id}", s.getRequest)
+	mux.HandleFunc("GET /v1/events", s.getEvents)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// pointJSON is the wire form of a coordinate.
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type requestIn struct {
+	Pickup  pointJSON `json:"pickup"`
+	Dropoff pointJSON `json:"dropoff"`
+	Seats   int       `json:"seats"`
+}
+
+type requestOut struct {
+	ID    int `json:"id"`
+	Frame int `json:"frame"`
+}
+
+func (s *server) postRequest(w http.ResponseWriter, r *http.Request) {
+	var in requestIn
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if in.Seats < 0 || in.Seats > 6 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("seats %d out of range", in.Seats))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	req := fleet.Request{
+		ID:      id,
+		Pickup:  geo.Point{X: in.Pickup.X, Y: in.Pickup.Y},
+		Dropoff: geo.Point{X: in.Dropoff.X, Y: in.Dropoff.Y},
+		Frame:   s.sim.Frame(),
+		Seats:   in.Seats,
+	}
+	if err := s.sim.Inject(req); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, requestOut{ID: id, Frame: req.Frame})
+}
+
+type tickIn struct {
+	Frames int `json:"frames"`
+}
+
+func (s *server) postTick(w http.ResponseWriter, r *http.Request) {
+	var in tickIn
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode tick: %w", err))
+			return
+		}
+	}
+	if in.Frames <= 0 {
+		in.Frames = 1
+	}
+	if in.Frames > 10000 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("refusing to advance %d frames at once", in.Frames))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < in.Frames; i++ {
+		if err := s.sim.Step(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"frame": s.sim.Frame()})
+}
+
+type taxiOut struct {
+	ID       int       `json:"id"`
+	Pos      pointJSON `json:"pos"`
+	Idle     bool      `json:"idle"`
+	Load     int       `json:"load"`
+	Onboard  []int     `json:"onboard,omitempty"`
+	Assigned []int     `json:"assigned,omitempty"`
+}
+
+func (s *server) getTaxis(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	views := s.sim.TaxiViews()
+	s.mu.Unlock()
+	out := make([]taxiOut, len(views))
+	for i, v := range views {
+		out[i] = taxiOut{
+			ID:       v.ID,
+			Pos:      pointJSON{X: v.Pos.X, Y: v.Pos.Y},
+			Idle:     v.Idle,
+			Load:     v.Load,
+			Onboard:  v.Onboard,
+			Assigned: v.Assigned,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type reportOut struct {
+	Algorithm         string  `json:"algorithm"`
+	Frame             int     `json:"frame"`
+	Requests          int     `json:"requests"`
+	Served            int     `json:"served"`
+	Episodes          int     `json:"episodes"`
+	SharedRides       int     `json:"sharedRides"`
+	MeanDelayMinutes  float64 `json:"meanDelayMinutes"`
+	MeanPassengerDiss float64 `json:"meanPassengerDissKm"`
+	MeanTaxiDiss      float64 `json:"meanTaxiDissKm"`
+}
+
+func (s *server) getReport(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	rep := s.sim.Snapshot()
+	frame := s.sim.Frame()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, reportOut{
+		Algorithm:         rep.Algorithm,
+		Frame:             frame,
+		Requests:          len(rep.Requests),
+		Served:            rep.ServedCount(),
+		Episodes:          len(rep.Episodes),
+		SharedRides:       rep.SharedRideCount(),
+		MeanDelayMinutes:  nanToZero(stats.Mean(rep.DispatchDelays())),
+		MeanPassengerDiss: nanToZero(stats.Mean(rep.PassengerDissatisfactions())),
+		MeanTaxiDiss:      nanToZero(stats.Mean(rep.TaxiDissatisfactions())),
+	})
+}
+
+type requestStatusOut struct {
+	ID           int    `json:"id"`
+	Status       string `json:"status"`
+	TaxiID       int    `json:"taxiId"`
+	ArrivalFrame int    `json:"arrivalFrame"`
+	AssignFrame  int    `json:"assignFrame"`
+	PickupFrame  int    `json:"pickupFrame"`
+	DropoffFrame int    `json:"dropoffFrame"`
+}
+
+func (s *server) getRequest(w http.ResponseWriter, r *http.Request) {
+	var id int
+	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request id: %w", err))
+		return
+	}
+	s.mu.Lock()
+	rep := s.sim.Snapshot()
+	s.mu.Unlock()
+	for _, o := range rep.Requests {
+		if o.ID != id {
+			continue
+		}
+		status := "pending"
+		switch {
+		case o.DropoffFrame >= 0:
+			status = "completed"
+		case o.PickupFrame >= 0:
+			status = "riding"
+		case o.Served:
+			status = "assigned"
+		}
+		writeJSON(w, http.StatusOK, requestStatusOut{
+			ID:           o.ID,
+			Status:       status,
+			TaxiID:       o.TaxiID,
+			ArrivalFrame: o.ArrivalFrame,
+			AssignFrame:  o.AssignFrame,
+			PickupFrame:  o.PickupFrame,
+			DropoffFrame: o.DropoffFrame,
+		})
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("request %d not found", id))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already out; nothing more to do.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func nanToZero(x float64) float64 {
+	if x != x {
+		return 0
+	}
+	return x
+}
+
+// eventBuffer retains the most recent simulator events for the
+// /v1/events endpoint.
+type eventBuffer struct {
+	mu     sync.Mutex
+	events []sim.Event
+	max    int
+}
+
+var _ sim.EventSink = (*eventBuffer)(nil)
+
+func newEventBuffer(max int) *eventBuffer {
+	if max <= 0 {
+		max = 10000
+	}
+	return &eventBuffer{max: max}
+}
+
+// Record implements sim.EventSink.
+func (b *eventBuffer) Record(e sim.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = append(b.events, e)
+	if len(b.events) > b.max {
+		b.events = b.events[len(b.events)-b.max:]
+	}
+}
+
+// Since returns retained events at or after the given frame.
+func (b *eventBuffer) Since(frame int) []sim.Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []sim.Event
+	for _, e := range b.events {
+		if e.Frame >= frame {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (s *server) getEvents(w http.ResponseWriter, r *http.Request) {
+	if s.events == nil {
+		writeJSON(w, http.StatusOK, []sim.Event{})
+		return
+	}
+	since := 0
+	if q := r.URL.Query().Get("since"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &since); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
+			return
+		}
+	}
+	out := s.events.Since(since)
+	if out == nil {
+		out = []sim.Event{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,244 @@
+// Command taxisim runs dispatch algorithms over a synthetic or CSV trace
+// and prints metrics summaries:
+//
+//	taxisim -city boston -algo nstd-p -taxis 200 -frames 1440
+//	taxisim -trace day.csv -city newyork -algo raii
+//	taxisim -algo nstd-p,greedy,mincost    # side-by-side comparison
+//	taxisim -algo all                      # every algorithm
+//
+// Algorithms: nstd-p, nstd-t, nstd-c, nstd-m, greedy, mincost, bottleneck
+// (non-sharing); std-p, std-t, raii, sarp, ilp (sharing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"stabledispatch/internal/carpool"
+	"stabledispatch/internal/dispatch"
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/pref"
+	"stabledispatch/internal/share"
+	"stabledispatch/internal/sim"
+	"stabledispatch/internal/stats"
+	"stabledispatch/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "taxisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("taxisim", flag.ContinueOnError)
+	var (
+		cityName  = fs.String("city", "boston", "city model: boston or newyork")
+		traceFile = fs.String("trace", "", "optional CSV trace to replay instead of generating")
+		algo      = fs.String("algo", "nstd-p", "dispatch algorithm")
+		taxis     = fs.Int("taxis", 0, "fleet size (0 = paper default for the city)")
+		frames    = fs.Int("frames", 1440, "horizon in minutes")
+		volume    = fs.Int("volume", 0, "requests per day (0 = paper default)")
+		seed      = fs.Int64("seed", 42, "random seed")
+		theta     = fs.Float64("theta", 5, "sharing detour bound in km")
+		speed     = fs.Float64("speed", 20, "taxi speed in km/h")
+		patience  = fs.Int("patience", 0, "minutes a passenger waits before abandoning (0 = forever)")
+		eventPath = fs.String("events", "", "write a JSONL lifecycle event log to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	city, defTaxis, defVolume, err := cityByName(*cityName)
+	if err != nil {
+		return err
+	}
+	if *taxis == 0 {
+		*taxis = defTaxis
+	}
+	if *volume == 0 {
+		*volume = defVolume
+	}
+
+	var reqs []fleet.Request
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		reqs, err = trace.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		reqs, err = trace.Generate(trace.Config{
+			City:           city,
+			Frames:         *frames,
+			RequestsPerDay: *volume,
+			Seats:          3,
+			Seed:           *seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fleetTaxis, err := trace.Taxis(city, *taxis, *seed+1)
+	if err != nil {
+		return err
+	}
+
+	var events sim.EventSink
+	if *eventPath != "" {
+		f, err := os.Create(*eventPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink := sim.NewJSONLSink(f)
+		defer func() {
+			if err := sink.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "taxisim: event log:", err)
+			}
+		}()
+		events = sink
+	}
+
+	names := strings.Split(*algo, ",")
+	if strings.EqualFold(*algo, "all") {
+		names = allAlgorithms()
+	}
+	var reports []*sim.Report
+	for _, name := range names {
+		d, err := dispatcherByName(strings.TrimSpace(name), *theta)
+		if err != nil {
+			return err
+		}
+		s, err := sim.New(sim.Config{
+			SpeedKmH:       *speed,
+			Params:         pref.DefaultParams(),
+			Dispatcher:     d,
+			PatienceFrames: *patience,
+			Events:         events,
+		}, fleetTaxis, reqs)
+		if err != nil {
+			return err
+		}
+		rep, err := s.Run()
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+	if len(reports) == 1 {
+		return printSummary(out, reports[0], len(reqs), *taxis)
+	}
+	return printComparison(out, reports, len(reqs), *taxis)
+}
+
+// allAlgorithms lists every dispatcher name for -algo all, the paper's
+// algorithms first.
+func allAlgorithms() []string {
+	return []string{
+		"nstd-p", "nstd-t", "nstd-c", "nstd-m",
+		"greedy", "mincost", "bottleneck",
+		"std-p", "std-t", "raii", "sarp", "ilp",
+	}
+}
+
+// printComparison renders one row per algorithm with the paper's three
+// metrics.
+func printComparison(w io.Writer, reports []*sim.Report, total, taxis int) error {
+	tb := stats.Table{
+		Title: fmt.Sprintf("comparison over %d requests, %d taxis", total, taxis),
+		Columns: []string{
+			"algorithm", "served", "delay mean", "delay p95",
+			"pass diss", "taxi diss", "shared",
+		},
+	}
+	for _, rep := range reports {
+		delays := rep.DispatchDelays()
+		tb.AddRow(
+			rep.Algorithm,
+			fmt.Sprintf("%d/%d", rep.ServedCount(), total),
+			stats.F(stats.Mean(delays)),
+			stats.F(stats.Percentile(delays, 95)),
+			stats.F(stats.Mean(rep.PassengerDissatisfactions())),
+			stats.F(stats.Mean(rep.TaxiDissatisfactions())),
+			fmt.Sprintf("%d", rep.SharedRideCount()),
+		)
+	}
+	return tb.Render(w)
+}
+
+func cityByName(name string) (trace.City, int, int, error) {
+	switch strings.ToLower(name) {
+	case "boston":
+		return trace.Boston(), 200, 13500, nil
+	case "newyork", "nyc", "new-york":
+		return trace.NewYork(), 700, 46600, nil
+	default:
+		return trace.City{}, 0, 0, fmt.Errorf("unknown city %q (want boston or newyork)", name)
+	}
+}
+
+func dispatcherByName(name string, theta float64) (sim.Dispatcher, error) {
+	packCfg := share.PackConfig{Theta: theta, MaxGroupSize: 3, PairRadius: 2 * theta}
+	carpoolCfg := carpool.Config{Theta: theta, MaxAdded: 2 * theta, SearchRadius: 2 * theta}
+	switch strings.ToLower(name) {
+	case "nstd-p":
+		return dispatch.NewNSTDP(), nil
+	case "nstd-t":
+		return dispatch.NewNSTDT(), nil
+	case "nstd-c":
+		return dispatch.NewNSTDC(), nil
+	case "nstd-m":
+		return dispatch.NewNSTDM(), nil
+	case "greedy":
+		return dispatch.NewGreedy(), nil
+	case "mincost":
+		return dispatch.NewMinCost(), nil
+	case "bottleneck":
+		return dispatch.NewBottleneck(), nil
+	case "std-p":
+		return dispatch.NewSTDP(packCfg), nil
+	case "std-t":
+		return dispatch.NewSTDT(packCfg), nil
+	case "raii":
+		return carpool.NewRAII(carpoolCfg), nil
+	case "sarp":
+		return carpool.NewSARP(carpoolCfg), nil
+	case "ilp":
+		return carpool.NewILP(packCfg), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func printSummary(w io.Writer, rep *sim.Report, total, taxis int) error {
+	delays := rep.DispatchDelays()
+	pass := rep.PassengerDissatisfactions()
+	taxi := rep.TaxiDissatisfactions()
+
+	tb := stats.Table{
+		Title:   fmt.Sprintf("%s over %d requests, %d taxis, %d frames", rep.Algorithm, total, taxis, rep.Frames),
+		Columns: []string{"metric", "mean", "p50", "p95", "max"},
+	}
+	row := func(name string, xs []float64) {
+		tb.AddRow(name, stats.F(stats.Mean(xs)), stats.F(stats.Percentile(xs, 50)),
+			stats.F(stats.Percentile(xs, 95)), stats.F(stats.Max(xs)))
+	}
+	row("dispatch delay (min)", delays)
+	row("passenger dissatisfaction (km)", pass)
+	row("taxi dissatisfaction (km)", taxi)
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "  served %d/%d (%d unserved, %d abandoned), %d episodes, %d shared rides\n",
+		rep.ServedCount(), total, rep.UnservedCount(), rep.AbandonedCount(), len(rep.Episodes), rep.SharedRideCount())
+	return err
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-city", "boston", "-algo", "nstd-p",
+		"-taxis", "15", "-frames", "30", "-volume", "2000", "-seed", "3",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"NSTD-P", "dispatch delay", "taxi dissatisfaction", "served"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{
+		"nstd-p", "nstd-t", "greedy", "mincost", "bottleneck",
+		"std-p", "std-t", "raii", "sarp", "ilp",
+	} {
+		t.Run(algo, func(t *testing.T) {
+			var sb strings.Builder
+			err := run([]string{
+				"-algo", algo, "-taxis", "8", "-frames", "15",
+				"-volume", "1500", "-seed", "4",
+			}, &sb)
+			if err != nil {
+				t.Fatalf("run(%s): %v", algo, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-city", "gotham"}, &sb); err == nil {
+		t.Error("accepted unknown city")
+	}
+	if err := run([]string{"-algo", "magic"}, &sb); err == nil {
+		t.Error("accepted unknown algorithm")
+	}
+	if err := run([]string{"-trace", "/no/such/file.csv"}, &sb); err == nil {
+		t.Error("accepted missing trace file")
+	}
+	if err := run([]string{"-not-a-flag"}, &sb); err == nil {
+		t.Error("accepted bad flag")
+	}
+}
+
+func TestRunWithCSVTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	csv := "id,frame,pickup_x,pickup_y,dropoff_x,dropoff_y,seats\n" +
+		"0,0,10,10,12,10,1\n" +
+		"1,1,9,10,6,10,1\n"
+	if err := os.WriteFile(path, []byte(csv), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-trace", path, "-taxis", "3", "-algo", "greedy"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "over 2 requests") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunComparisonMode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "nstd-p,greedy", "-taxis", "10", "-frames", "20",
+		"-volume", "1500", "-seed", "5",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"comparison", "NSTD-P", "Greedy", "taxi diss"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExtensionAlgorithms(t *testing.T) {
+	for _, algo := range []string{"nstd-c", "nstd-m"} {
+		var sb strings.Builder
+		err := run([]string{
+			"-algo", algo, "-taxis", "8", "-frames", "12",
+			"-volume", "1500", "-seed", "6",
+		}, &sb)
+		if err != nil {
+			t.Fatalf("run(%s): %v", algo, err)
+		}
+	}
+}
+
+func TestRunWritesEventLog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "greedy", "-taxis", "6", "-frames", "10",
+		"-volume", "1500", "-seed", "7", "-events", path,
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !strings.Contains(string(data), `"kind":"assign"`) {
+		t.Errorf("event log missing assign events:\n%.300s", data)
+	}
+}

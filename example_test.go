@@ -1,0 +1,64 @@
+package stabledispatch_test
+
+import (
+	"fmt"
+
+	"stabledispatch"
+)
+
+// Example dispatches one frame's worth of requests with Algorithm 1 and
+// prints the stable schedule.
+func Example() {
+	requests := []stabledispatch.Request{
+		{ID: 0, Pickup: stabledispatch.Point{X: 1}, Dropoff: stabledispatch.Point{X: 6}},
+		{ID: 1, Pickup: stabledispatch.Point{X: 4}, Dropoff: stabledispatch.Point{X: 12}},
+		{ID: 2, Pickup: stabledispatch.Point{X: 9}, Dropoff: stabledispatch.Point{X: 9.5}},
+	}
+	taxis := []stabledispatch.Taxi{
+		{ID: 0, Pos: stabledispatch.Point{X: 0}},
+		{ID: 1, Pos: stabledispatch.Point{X: 5}},
+	}
+
+	inst, err := stabledispatch.NewInstance(requests, taxis,
+		stabledispatch.EuclidMetric, stabledispatch.DefaultParams())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	matching := stabledispatch.PassengerOptimal(&inst.Market)
+	for j, i := range matching.ReqPartner {
+		if i == stabledispatch.Unmatched {
+			fmt.Printf("request %d: unserved (dummy partner)\n", requests[j].ID)
+		} else {
+			fmt.Printf("request %d: taxi %d\n", requests[j].ID, taxis[i].ID)
+		}
+	}
+	// Output:
+	// request 0: taxi 0
+	// request 1: taxi 1
+	// request 2: unserved (dummy partner)
+}
+
+// ExampleBestSharedRoute plans the optimal shared route for two
+// co-directional riders.
+func ExampleBestSharedRoute() {
+	riders := []stabledispatch.Request{
+		{ID: 0, Pickup: stabledispatch.Point{X: 0}, Dropoff: stabledispatch.Point{X: 10}},
+		{ID: 1, Pickup: stabledispatch.Point{X: 1}, Dropoff: stabledispatch.Point{X: 9}},
+	}
+	plan, err := stabledispatch.BestSharedRoute(riders, stabledispatch.EuclidMetric)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("route length: %.0f km\n", plan.Length)
+	for _, stop := range plan.Stops {
+		fmt.Printf("%v r%d\n", stop.Kind, stop.RequestID)
+	}
+	// Output:
+	// route length: 10 km
+	// pickup r0
+	// pickup r1
+	// dropoff r1
+	// dropoff r0
+}

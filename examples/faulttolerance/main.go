@@ -1,0 +1,114 @@
+// Faulttolerance: inject taxi outages into a dispatch day and watch the
+// stable dispatcher degrade gracefully. A third of the fleet goes dark
+// during the evening rush; drivers finish their current fare before going
+// offline, waiting passengers spill over to the remaining taxis, and
+// service recovers when the outage lifts.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stabledispatch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	city := stabledispatch.Boston()
+	cfg := stabledispatch.BostonConfig(180, 77)
+	requests, err := stabledispatch.GenerateTrace(cfg)
+	if err != nil {
+		return err
+	}
+	taxis, err := stabledispatch.GenerateTaxis(city, 60, 78)
+	if err != nil {
+		return err
+	}
+
+	// A third of the fleet fails between minute 60 and minute 120.
+	var outages []stabledispatch.Outage
+	for i := 0; i < len(taxis)/3; i++ {
+		outages = append(outages, stabledispatch.Outage{
+			TaxiID: taxis[i].ID, From: 60, To: 120,
+		})
+	}
+
+	run := func(label string, out []stabledispatch.Outage) (*stabledispatch.Report, error) {
+		sim, err := stabledispatch.NewSimulator(stabledispatch.SimConfig{
+			Dispatcher:     stabledispatch.NSTDP(),
+			Params:         stabledispatch.DefaultParams(),
+			Outages:        out,
+			PatienceFrames: 45,
+		}, taxis, requests)
+		if err != nil {
+			return nil, err
+		}
+		report, err := sim.Run()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("%-12s served %4d/%d  abandoned %3d  mean delay %5.2f min\n",
+			label, report.ServedCount(), len(requests),
+			report.AbandonedCount(), mean(report.DispatchDelays()))
+		return report, nil
+	}
+
+	fmt.Printf("%d requests, %d taxis; outage hits %d taxis during minutes 60-120\n\n",
+		len(requests), len(taxis), len(outages))
+	healthy, err := run("healthy", nil)
+	if err != nil {
+		return err
+	}
+	degraded, err := run("with outage", outages)
+	if err != nil {
+		return err
+	}
+
+	// Per-30-minute delay profile shows the dip and the recovery.
+	fmt.Println("\nmean delay by half hour (healthy vs outage):")
+	for bucket := 0; bucket < 6; bucket++ {
+		lo, hi := bucket*30, (bucket+1)*30
+		h := bucketDelay(healthy, lo, hi)
+		d := bucketDelay(degraded, lo, hi)
+		marker := ""
+		if lo >= 60 && lo < 120 {
+			marker = "  <- outage window"
+		}
+		fmt.Printf("  %3d-%3d min: %6.2f vs %6.2f%s\n", lo, hi, h, d, marker)
+	}
+	return nil
+}
+
+func bucketDelay(rep *stabledispatch.Report, lo, hi int) float64 {
+	var sum float64
+	var n int
+	for _, o := range rep.Requests {
+		if !o.Served || o.ArrivalFrame < lo || o.ArrivalFrame >= hi {
+			continue
+		}
+		sum += float64(o.AssignFrame - o.ArrivalFrame)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

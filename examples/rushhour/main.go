@@ -1,0 +1,97 @@
+// Rushhour: a fleet-sizing study. How many taxis does Boston need so
+// that rush-hour passengers are dispatched within two minutes — and what
+// does each fleet size cost the drivers? This is the §VI-C trade-off
+// (Figs. 6 and 7) as an operational question.
+//
+//	go run ./examples/rushhour
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"stabledispatch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	city := stabledispatch.Boston()
+
+	// The evening rush: 5pm-8pm. Frames are minutes of the day.
+	cfg := stabledispatch.BostonConfig(20*60 /* through 8pm */, 7)
+	all, err := stabledispatch.GenerateTrace(cfg)
+	if err != nil {
+		return err
+	}
+	var rush []stabledispatch.Request
+	for _, r := range all {
+		if r.Frame >= 17*60 { // keep 5pm onward
+			r.Frame -= 17 * 60
+			rush = append(rush, r)
+		}
+	}
+	fmt.Printf("evening rush: %d requests over 3 hours\n\n", len(rush))
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "taxis\tserved\tmean delay (min)\tp95 delay\tdriver diss (km)")
+	for _, fleetSize := range []int{100, 150, 200, 250, 300} {
+		taxis, err := stabledispatch.GenerateTaxis(city, fleetSize, 11)
+		if err != nil {
+			return err
+		}
+		sim, err := stabledispatch.NewSimulator(stabledispatch.SimConfig{
+			Dispatcher: stabledispatch.NSTDP(),
+			Params:     stabledispatch.DefaultParams(),
+		}, taxis, rush)
+		if err != nil {
+			return err
+		}
+		report, err := sim.Run()
+		if err != nil {
+			return err
+		}
+		delays := report.DispatchDelays()
+		fmt.Fprintf(w, "%d\t%d/%d\t%.2f\t%.1f\t%.3f\n",
+			fleetSize, report.ServedCount(), len(rush),
+			mean(delays), percentile(delays, 0.95),
+			mean(report.TaxiDissatisfactions()))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nwith fewer taxis, delays and passenger dissatisfaction grow,")
+	fmt.Println("but drivers get to pick better rides — exactly Fig. 6's shape.")
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,3 @@
+module stabledispatch
+
+go 1.22

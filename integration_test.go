@@ -1,0 +1,102 @@
+package stabledispatch
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRoadNetworkSimulation runs the full dispatch loop over the street-
+// grid shortest-path metric instead of the Euclidean plane: the road
+// substrate, the matching core, and the simulator must compose.
+func TestRoadNetworkSimulation(t *testing.T) {
+	grid, err := NewRoadGrid(RoadGridConfig{
+		Rows: 21, Cols: 21, Spacing: 1, Jitter: 0.1, DropProb: 0.15, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("NewRoadGrid: %v", err)
+	}
+	metric := NewRoadMetric(grid, 256)
+
+	city := Boston() // same 20x20 km extent as the grid
+	cfg := BostonConfig(45, 6)
+	cfg.RequestsPerDay = 2000
+	reqs, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+	taxis, err := GenerateTaxis(city, 30, 7)
+	if err != nil {
+		t.Fatalf("GenerateTaxis: %v", err)
+	}
+
+	for _, d := range []Dispatcher{NSTDP(), GreedyDispatcher()} {
+		s, err := NewSimulator(SimConfig{
+			Metric:     metric,
+			Dispatcher: d,
+			Params:     DefaultParams(),
+		}, taxis, reqs)
+		if err != nil {
+			t.Fatalf("NewSimulator: %v", err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatalf("Run(%s): %v", d.Name(), err)
+		}
+		if rep.ServedCount() == 0 {
+			t.Fatalf("%s served nothing on the road network", d.Name())
+		}
+		// Road distances dominate straight-line distances, so every
+		// dissatisfaction sample must be finite and sane.
+		for _, v := range rep.PassengerDissatisfactions() {
+			if math.IsNaN(v) || v < 0 || v > 100 {
+				t.Fatalf("%s produced bogus passenger dissatisfaction %v", d.Name(), v)
+			}
+		}
+	}
+}
+
+// TestRoadDistancesDominateEuclidean spot-checks the substrate: a
+// shortest street path can never beat the straight line between the same
+// snapped intersections.
+func TestRoadDistancesDominateEuclidean(t *testing.T) {
+	grid, err := NewRoadGrid(RoadGridConfig{Rows: 10, Cols: 10, Spacing: 2, Seed: 8})
+	if err != nil {
+		t.Fatalf("NewRoadGrid: %v", err)
+	}
+	metric := NewRoadMetric(grid, 64)
+	for i := 0; i < grid.NumNodes(); i += 7 {
+		for j := 1; j < grid.NumNodes(); j += 13 {
+			a, b := grid.Node(i), grid.Node(j)
+			if metric.Distance(a, b) < EuclidMetric.Distance(a, b)-1e-9 {
+				t.Fatalf("road distance %v beats straight line %v between %v and %v",
+					metric.Distance(a, b), EuclidMetric.Distance(a, b), a, b)
+			}
+		}
+	}
+}
+
+// TestSharingOnRoadNetwork exercises Algorithm 3 over the road metric.
+func TestSharingOnRoadNetwork(t *testing.T) {
+	grid, err := NewRoadGrid(RoadGridConfig{Rows: 15, Cols: 15, Spacing: 1, Seed: 9})
+	if err != nil {
+		t.Fatalf("NewRoadGrid: %v", err)
+	}
+	metric := NewRoadMetric(grid, 128)
+
+	reqs := []Request{
+		{ID: 0, Pickup: Point{X: 1, Y: 1}, Dropoff: Point{X: 8, Y: 1}},
+		{ID: 1, Pickup: Point{X: 1.5, Y: 1}, Dropoff: Point{X: 8.5, Y: 1.2}},
+		{ID: 2, Pickup: Point{X: 13, Y: 13}, Dropoff: Point{X: 2, Y: 13}},
+	}
+	res, err := PackRequests(reqs, metric, DefaultPackConfig())
+	if err != nil {
+		t.Fatalf("PackRequests: %v", err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1 (the two parallel riders)", len(res.Groups))
+	}
+	got := res.Groups[0].Members
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("group members = %v, want [0 1]", got)
+	}
+}

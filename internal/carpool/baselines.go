@@ -1,0 +1,288 @@
+package carpool
+
+import (
+	"fmt"
+	"math"
+
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/geo"
+	"stabledispatch/internal/match"
+	"stabledispatch/internal/share"
+	"stabledispatch/internal/sim"
+	"stabledispatch/internal/spatial"
+)
+
+// Config holds the constraints shared by the insertion baselines.
+type Config struct {
+	// Theta bounds the new rider's on-board detour (km); matches the
+	// paper's θ = 5.
+	Theta float64
+	// MaxAdded bounds the total extra driving an insertion may cost the
+	// taxi, which also shields existing riders from long detours.
+	MaxAdded float64
+	// SearchRadius is how far RAII's spatio-temporal index looks for
+	// candidate taxis around a pickup (km).
+	SearchRadius float64
+	// MaxWait bounds the along-route distance to an inserted rider's
+	// pickup — the pickup-deadline window of the cited systems.
+	MaxWait float64
+}
+
+// DefaultConfig mirrors the paper's sharing evaluation: θ = 5 km, with
+// the added-distance bound, index radius, and pickup-wait window all at
+// 2θ.
+func DefaultConfig() Config {
+	return Config{Theta: 5, MaxAdded: 10, SearchRadius: 10, MaxWait: 10}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Theta < 0 || c.MaxAdded < 0 || c.SearchRadius < 0 || c.MaxWait < 0 {
+		return fmt.Errorf("carpool: negative constraint in config %+v", c)
+	}
+	return nil
+}
+
+// maxWait returns the pickup-deadline window, defaulting to 2θ when the
+// config predates the field.
+func (c Config) maxWait() float64 {
+	if c.MaxWait <= 0 {
+		return 2 * c.Theta
+	}
+	return c.MaxWait
+}
+
+// RAII is the spatio-temporal-index baseline [7]: candidate taxis come
+// from a grid index around the request's pickup, and the request goes to
+// the candidate whose route absorbs it with the least added distance.
+type RAII struct {
+	cfg Config
+}
+
+var _ sim.Dispatcher = (*RAII)(nil)
+
+// NewRAII returns the RAII baseline dispatcher.
+func NewRAII(cfg Config) *RAII { return &RAII{cfg: cfg} }
+
+// Name implements sim.Dispatcher.
+func (d *RAII) Name() string { return "RAII" }
+
+// Dispatch implements sim.Dispatcher.
+func (d *RAII) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
+	if err := d.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(f.Taxis) == 0 {
+		return nil, nil
+	}
+	// Build the spatial index over taxi positions for this frame.
+	bounds := frameBounds(f)
+	index := spatial.NewIndex(bounds, indexCell(bounds))
+	for i, v := range f.Taxis {
+		index.Insert(i, v.Pos)
+	}
+
+	views := append([]sim.TaxiView(nil), f.Taxis...)
+	plans := make(map[int]insertionPlan) // taxi slice index -> plan
+	reqsOf := make(map[int][]int)        // taxi slice index -> request IDs
+
+	for _, r := range f.Requests {
+		candidates := index.WithinRadius(r.Pickup, d.cfg.SearchRadius)
+		bestTaxi, best := -1, insertionPlan{added: math.Inf(1)}
+		for _, ti := range candidates {
+			if _, taken := plans[ti]; taken {
+				continue // one assignment per taxi per frame
+			}
+			if views[ti].Offline {
+				continue
+			}
+			plan, ok := bestInsertion(views[ti], r, f.Metric, d.cfg.Theta, d.cfg.MaxAdded, d.cfg.maxWait())
+			if ok && plan.added < best.added {
+				bestTaxi, best = ti, plan
+			}
+		}
+		if bestTaxi < 0 {
+			continue // no nearby feasible taxi; the request waits
+		}
+		plans[bestTaxi] = best
+		reqsOf[bestTaxi] = append(reqsOf[bestTaxi], r.ID)
+	}
+	return buildAssignments(views, plans, reqsOf), nil
+}
+
+// SARP is the TSP-insertion baseline [8]: every taxi is a candidate (no
+// index), and the new request is spliced into the route with minimum
+// additional travel distance.
+type SARP struct {
+	cfg Config
+}
+
+var _ sim.Dispatcher = (*SARP)(nil)
+
+// NewSARP returns the SARP baseline dispatcher.
+func NewSARP(cfg Config) *SARP { return &SARP{cfg: cfg} }
+
+// Name implements sim.Dispatcher.
+func (d *SARP) Name() string { return "SARP" }
+
+// Dispatch implements sim.Dispatcher.
+func (d *SARP) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
+	if err := d.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	views := append([]sim.TaxiView(nil), f.Taxis...)
+	plans := make(map[int]insertionPlan)
+	reqsOf := make(map[int][]int)
+
+	for _, r := range f.Requests {
+		bestTaxi, best := -1, insertionPlan{added: math.Inf(1)}
+		for ti := range views {
+			if _, taken := plans[ti]; taken {
+				continue
+			}
+			if views[ti].Offline {
+				continue
+			}
+			plan, ok := bestInsertion(views[ti], r, f.Metric, d.cfg.Theta, d.cfg.MaxAdded, d.cfg.maxWait())
+			if ok && plan.added < best.added {
+				bestTaxi, best = ti, plan
+			}
+		}
+		if bestTaxi < 0 {
+			continue
+		}
+		plans[bestTaxi] = best
+		reqsOf[bestTaxi] = append(reqsOf[bestTaxi], r.ID)
+	}
+	return buildAssignments(views, plans, reqsOf), nil
+}
+
+// ILP is the integer-programming baseline [6]: requests are packed into
+// share groups, and groups are assigned to idle taxis by an exact
+// minimum-cost matching on total driving distance (the frame's
+// assignment ILP, solved via its integral LP).
+type ILP struct {
+	packCfg share.PackConfig
+}
+
+var _ sim.Dispatcher = (*ILP)(nil)
+
+// NewILP returns the ILP baseline dispatcher.
+func NewILP(packCfg share.PackConfig) *ILP { return &ILP{packCfg: packCfg} }
+
+// Name implements sim.Dispatcher.
+func (d *ILP) Name() string { return "ILP" }
+
+// Dispatch implements sim.Dispatcher.
+func (d *ILP) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
+	var idle []sim.TaxiView
+	for _, v := range f.Taxis {
+		if v.Idle {
+			idle = append(idle, v)
+		}
+	}
+	if len(idle) == 0 || len(f.Requests) == 0 {
+		return nil, nil
+	}
+	// Bound the packing batch like the STD dispatchers do: the group
+	// search is superlinear in the pending queue, and the ILP frame
+	// optimum is over the batched units either way.
+	const maxBatch = 100
+	batch := f.Requests
+	if len(batch) > maxBatch {
+		batch = batch[:maxBatch]
+	}
+	res, err := share.Pack(batch, f.Metric, d.packCfg)
+	if err != nil {
+		return nil, fmt.Errorf("carpool: ILP: %w", err)
+	}
+	units := res.Units(f.Requests, f.Metric)
+	for idx := len(batch); idx < len(f.Requests); idx++ {
+		units = append(units, share.SingleUnit(idx, f.Requests, f.Metric))
+	}
+
+	// cost[k][i]: total driving distance for idle taxi i to serve unit
+	// k (lead-in plus route), +Inf when the taxi lacks seats.
+	cost := make([][]float64, len(units))
+	for k, u := range units {
+		cost[k] = make([]float64, len(idle))
+		for i, v := range idle {
+			if v.Capacity() < u.Plan.MaxLoad {
+				cost[k][i] = math.Inf(1)
+				continue
+			}
+			cost[k][i] = f.Metric.Distance(v.Pos, u.Start()) + u.Plan.Length
+		}
+	}
+	partner, _, err := match.MinCost(cost)
+	if err != nil {
+		return nil, fmt.Errorf("carpool: ILP: %w", err)
+	}
+	var out []fleet.Assignment
+	for k, i := range partner {
+		if i != match.Unmatched {
+			out = append(out, units[k].Assignment(idle[i].ID, f.Requests))
+		}
+	}
+	return out, nil
+}
+
+// buildAssignments converts per-taxi insertion plans into assignments.
+func buildAssignments(views []sim.TaxiView, plans map[int]insertionPlan, reqsOf map[int][]int) []fleet.Assignment {
+	var out []fleet.Assignment
+	for ti := range views {
+		plan, ok := plans[ti]
+		if !ok {
+			continue
+		}
+		out = append(out, fleet.Assignment{
+			TaxiID:   views[ti].ID,
+			Requests: reqsOf[ti],
+			Route:    plan.route,
+		})
+	}
+	return out
+}
+
+func frameBounds(f *sim.Frame) geo.Rect {
+	first := true
+	var r geo.Rect
+	grow := func(p geo.Point) {
+		if first {
+			r = geo.NewRect(p, p)
+			first = false
+			return
+		}
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	for _, v := range f.Taxis {
+		grow(v.Pos)
+	}
+	for _, req := range f.Requests {
+		grow(req.Pickup)
+	}
+	if first {
+		return geo.NewRect(geo.Point{}, geo.Point{X: 1, Y: 1})
+	}
+	return r.Expand(1)
+}
+
+func indexCell(bounds geo.Rect) float64 {
+	side := math.Max(bounds.Width(), bounds.Height())
+	cell := side / 16
+	if cell <= 0 {
+		return 1
+	}
+	return cell
+}

@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+
+	"stabledispatch/internal/dispatch"
+	"stabledispatch/internal/share"
+	"stabledispatch/internal/sim"
+	"stabledispatch/internal/stats"
+	"stabledispatch/internal/trace"
+)
+
+// AblationMaxNet sweeps the taxi-side dummy threshold on the Boston
+// workload with NSTD-P: the knob that trades dispatch delay (taxis refuse
+// more rides) against taxi dissatisfaction (every accepted ride is
+// better). DESIGN.md calls this design choice out; this experiment
+// quantifies it.
+func AblationMaxNet(o Options) (Figure, error) {
+	if err := o.Validate(); err != nil {
+		return Figure{}, err
+	}
+	reqs, taxis, err := workload(trace.Boston(), 13500, 200, o)
+	if err != nil {
+		return Figure{}, err
+	}
+	thresholds := []float64{0, 0.5, 1, 2, 4, 8}
+	x := make([]float64, len(thresholds))
+	var delays, passes, taxisDiss, served []float64
+	for i, maxNet := range thresholds {
+		x[i] = maxNet
+		opt := o
+		opt.Params.MaxNet = maxNet
+		rep, err := runReport(dispatch.NewNSTDP(), taxis, reqs, opt)
+		if err != nil {
+			return Figure{}, fmt.Errorf("exp: ablation-maxnet %v: %w", maxNet, err)
+		}
+		delays = append(delays, stats.Mean(rep.DispatchDelays()))
+		passes = append(passes, stats.Mean(rep.PassengerDissatisfactions()))
+		taxisDiss = append(taxisDiss, stats.Mean(rep.TaxiDissatisfactions()))
+		served = append(served, float64(rep.ServedCount())/float64(len(reqs)))
+	}
+	one := func(metric string, y []float64) Panel {
+		return Panel{
+			Metric: metric, XLabel: "taxi threshold MaxNet (km)", X: x,
+			Series: []Series{{Name: "NSTD-P", Y: y}},
+		}
+	}
+	return Figure{
+		ID:    "ablation-maxnet",
+		Title: "Taxi-side dummy threshold sweep, NSTD-P, Boston trace",
+		Panels: []Panel{
+			one("average dispatch delay (min)", delays),
+			one("average passenger dissatisfaction (km)", passes),
+			one("average taxi dissatisfaction (km)", taxisDiss),
+			one("served fraction", served),
+		},
+	}, nil
+}
+
+// AblationTheta sweeps the sharing detour bound θ with STD-P: small θ
+// packs almost nothing (sharing degenerates to non-sharing), large θ
+// packs aggressively at the cost of passenger detours.
+func AblationTheta(o Options) (Figure, error) {
+	if err := o.Validate(); err != nil {
+		return Figure{}, err
+	}
+	reqs, taxis, err := workload(trace.Boston(), 13500, 200, o)
+	if err != nil {
+		return Figure{}, err
+	}
+	thetas := []float64{0.5, 1, 2, 5, 10}
+	x := make([]float64, len(thetas))
+	var passes, taxisDiss, shared []float64
+	for i, theta := range thetas {
+		x[i] = theta
+		cfg := share.PackConfig{Theta: theta, MaxGroupSize: 3, PairRadius: 2 * theta}
+		rep, err := runReport(dispatch.NewSTDP(cfg), taxis, reqs, o)
+		if err != nil {
+			return Figure{}, fmt.Errorf("exp: ablation-theta %v: %w", theta, err)
+		}
+		passes = append(passes, stats.Mean(rep.PassengerDissatisfactions()))
+		taxisDiss = append(taxisDiss, stats.Mean(rep.TaxiDissatisfactions()))
+		shared = append(shared, float64(rep.SharedRideCount()))
+	}
+	one := func(metric string, y []float64) Panel {
+		return Panel{
+			Metric: metric, XLabel: "theta (km)", X: x,
+			Series: []Series{{Name: "STD-P", Y: y}},
+		}
+	}
+	return Figure{
+		ID:    "ablation-theta",
+		Title: "Sharing detour bound sweep, STD-P, Boston trace",
+		Panels: []Panel{
+			one("average passenger dissatisfaction (km)", passes),
+			one("average taxi dissatisfaction (km)", taxisDiss),
+			one("shared rides", shared),
+		},
+	}, nil
+}
+
+// AblationStableVariant compares the four stable selections (passenger-
+// optimal, taxi-optimal, company-optimal, median) on one workload: all
+// serve the same requests (rural hospitals), so only the dissatisfaction
+// split between the sides moves.
+func AblationStableVariant(o Options) (Figure, error) {
+	if err := o.Validate(); err != nil {
+		return Figure{}, err
+	}
+	reqs, taxis, err := workload(trace.Boston(), 13500, 200, o)
+	if err != nil {
+		return Figure{}, err
+	}
+	variants := []sim.Dispatcher{
+		dispatch.NewNSTDP(),
+		dispatch.NewNSTDT(),
+		dispatch.NewNSTDC(),
+		dispatch.NewNSTDM(),
+	}
+	x := []float64{0, 1, 2, 3}
+	var delays, passes, taxisDiss []float64
+	names := make([]string, len(variants))
+	for i, d := range variants {
+		names[i] = d.Name()
+		rep, err := runReport(d, taxis, reqs, o)
+		if err != nil {
+			return Figure{}, fmt.Errorf("exp: ablation-variant %s: %w", d.Name(), err)
+		}
+		delays = append(delays, stats.Mean(rep.DispatchDelays()))
+		passes = append(passes, stats.Mean(rep.PassengerDissatisfactions()))
+		taxisDiss = append(taxisDiss, stats.Mean(rep.TaxiDissatisfactions()))
+	}
+	xlabel := fmt.Sprintf("variant index (%v)", names)
+	fig := Figure{
+		ID:    "ablation-variant",
+		Title: "Stable-matching selection variants, Boston trace",
+	}
+	fig.Panels = append(fig.Panels,
+		Panel{Metric: "average dispatch delay (min)", XLabel: xlabel, X: x,
+			Series: []Series{{Name: "mean", Y: delays}}},
+		Panel{Metric: "average passenger dissatisfaction (km)", XLabel: xlabel, X: x,
+			Series: []Series{{Name: "mean", Y: passes}}},
+		Panel{Metric: "average taxi dissatisfaction (km)", XLabel: xlabel, X: x,
+			Series: []Series{{Name: "mean", Y: taxisDiss}}},
+	)
+	return fig, nil
+}
+
+// Extras indexes the ablation experiments beyond the paper's figures.
+func Extras() map[string]Runner {
+	return map[string]Runner{
+		"ablation-maxnet":  AblationMaxNet,
+		"ablation-theta":   AblationTheta,
+		"ablation-variant": AblationStableVariant,
+	}
+}

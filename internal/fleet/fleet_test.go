@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"stabledispatch/internal/geo"
+)
+
+func TestRequestSeatCount(t *testing.T) {
+	tests := []struct {
+		seats int
+		want  int
+	}{
+		{seats: 0, want: 1},
+		{seats: -2, want: 1},
+		{seats: 1, want: 1},
+		{seats: 3, want: 3},
+	}
+	for _, tt := range tests {
+		r := Request{Seats: tt.seats}
+		if got := r.SeatCount(); got != tt.want {
+			t.Errorf("SeatCount(%d) = %d, want %d", tt.seats, got, tt.want)
+		}
+	}
+}
+
+func TestTaxiCapacity(t *testing.T) {
+	if got := (Taxi{}).Capacity(); got != 4 {
+		t.Errorf("default Capacity = %d, want 4", got)
+	}
+	if got := (Taxi{Seats: 6}).Capacity(); got != 6 {
+		t.Errorf("Capacity = %d, want 6", got)
+	}
+}
+
+func TestTripDistance(t *testing.T) {
+	r := Request{Pickup: geo.Point{}, Dropoff: geo.Point{X: 3, Y: 4}}
+	if got := r.TripDistance(geo.EuclidMetric); got != 5 {
+		t.Errorf("TripDistance = %v, want 5", got)
+	}
+}
+
+func TestSingleRideValid(t *testing.T) {
+	r := Request{ID: 9, Pickup: geo.Point{X: 1}, Dropoff: geo.Point{X: 2}}
+	a := SingleRide(4, r)
+	if a.TaxiID != 4 || len(a.Requests) != 1 || a.Requests[0] != 9 {
+		t.Fatalf("SingleRide = %+v", a)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	pk := func(id int) Stop { return Stop{RequestID: id, Kind: StopPickup} }
+	dr := func(id int) Stop { return Stop{RequestID: id, Kind: StopDropoff} }
+
+	tests := []struct {
+		name    string
+		a       Assignment
+		wantErr string
+	}{
+		{
+			name:    "no requests",
+			a:       Assignment{TaxiID: 1},
+			wantErr: "no requests",
+		},
+		{
+			name: "valid shared route",
+			a: Assignment{
+				TaxiID:   1,
+				Requests: []int{1, 2},
+				Route:    []Stop{pk(1), pk(2), dr(1), dr(2)},
+			},
+		},
+		{
+			name: "dropoff before pickup",
+			a: Assignment{
+				TaxiID:   1,
+				Requests: []int{1},
+				Route:    []Stop{dr(1), pk(1)},
+			},
+			wantErr: "drop-off precedes pickup",
+		},
+		{
+			name: "missing dropoff",
+			a: Assignment{
+				TaxiID:   1,
+				Requests: []int{1},
+				Route:    []Stop{pk(1)},
+			},
+			wantErr: "no dropoff",
+		},
+		{
+			name: "missing pickup",
+			a: Assignment{
+				TaxiID:   1,
+				Requests: []int{1},
+				Route:    []Stop{dr(1)},
+			},
+			wantErr: "no pickup",
+		},
+		{
+			name: "duplicate pickup",
+			a: Assignment{
+				TaxiID:   1,
+				Requests: []int{1},
+				Route:    []Stop{pk(1), pk(1), dr(1)},
+			},
+			wantErr: "duplicate pickup",
+		},
+		{
+			name: "stray request in route",
+			a: Assignment{
+				TaxiID:   1,
+				Requests: []int{1},
+				Route:    []Stop{pk(1), dr(1), pk(2), dr(2)},
+			},
+			wantErr: "route serves",
+		},
+		{
+			name: "invalid stop kind",
+			a: Assignment{
+				TaxiID:   1,
+				Requests: []int{1},
+				Route:    []Stop{{RequestID: 1}},
+			},
+			wantErr: "invalid kind",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.a.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Errorf("Validate: %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("Validate = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRouteLength(t *testing.T) {
+	route := []Stop{
+		{RequestID: 1, Kind: StopPickup, Pos: geo.Point{X: 3}},
+		{RequestID: 1, Kind: StopDropoff, Pos: geo.Point{X: 3, Y: 4}},
+	}
+	got := RouteLength(geo.Point{}, route, geo.EuclidMetric)
+	if got != 7 {
+		t.Errorf("RouteLength = %v, want 7", got)
+	}
+	if got := RouteLength(geo.Point{}, nil, geo.EuclidMetric); got != 0 {
+		t.Errorf("empty RouteLength = %v, want 0", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := TaxiIdle.String(); s != "idle" {
+		t.Errorf("TaxiIdle = %q", s)
+	}
+	if s := TaxiEnRoute.String(); s != "enroute" {
+		t.Errorf("TaxiEnRoute = %q", s)
+	}
+	if s := TaxiStatus(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown status = %q", s)
+	}
+	if s := StopPickup.String(); s != "pickup" {
+		t.Errorf("StopPickup = %q", s)
+	}
+	if s := StopDropoff.String(); s != "dropoff" {
+		t.Errorf("StopDropoff = %q", s)
+	}
+	if s := StopKind(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("unknown kind = %q", s)
+	}
+	r := Request{ID: 1}
+	if s := r.String(); !strings.Contains(s, "r1") {
+		t.Errorf("Request.String = %q", s)
+	}
+	taxi := Taxi{ID: 2, Status: TaxiIdle}
+	if s := taxi.String(); !strings.Contains(s, "t2") {
+		t.Errorf("Taxi.String = %q", s)
+	}
+	stop := Stop{RequestID: 3, Kind: StopPickup}
+	if s := stop.String(); !strings.Contains(s, "r3") {
+		t.Errorf("Stop.String = %q", s)
+	}
+}

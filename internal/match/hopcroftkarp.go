@@ -1,0 +1,64 @@
+package match
+
+// HopcroftKarp computes a maximum-cardinality bipartite matching in
+// O(E·sqrt(V)). adj[j] lists the right-side vertices adjacent to left
+// vertex j; nRight is the number of right-side vertices. It returns
+// partner[j] — the right vertex matched to left vertex j, or Unmatched.
+func HopcroftKarp(adj [][]int, nRight int) []int {
+	nLeft := len(adj)
+	const infDist = int(^uint(0) >> 1)
+
+	matchL := filled(nLeft, Unmatched)
+	matchR := filled(nRight, Unmatched)
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == Unmatched {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = infDist
+			}
+		}
+		foundAugmenting := false
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == Unmatched {
+					foundAugmenting = true
+				} else if dist[w] == infDist {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return foundAugmenting
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == Unmatched || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = infDist
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == Unmatched {
+				dfs(u)
+			}
+		}
+	}
+	return matchL
+}

@@ -1,0 +1,282 @@
+// Package match implements the non-sharing comparison algorithms the
+// paper evaluates against (§VI-B):
+//
+//   - Greedy: dispatch the geometrically nearest idle taxi to each
+//     request in arrival order (the greedy method of Hanna et al. [3]).
+//   - MinCost: a minimum-cost bipartite matching between requests and
+//     taxis (the paper's "Pair" baseline), computed with a
+//     Jonker–Volgenant-style Hungarian algorithm.
+//   - Bottleneck: a bipartite matching minimising the maximum cost of any
+//     matched pair (the paper's "Worst" baseline, [3]), computed by
+//     binary search over edge costs with Hopcroft–Karp feasibility
+//     checks.
+//
+// All functions take a request-major cost matrix cost[j][i] — the cost of
+// serving request j with taxi i — and return a partner slice where
+// partner[j] is the chosen taxi index or Unmatched.
+package match
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Unmatched marks a request that received no taxi.
+const Unmatched = -1
+
+// validate checks that the cost matrix is rectangular and NaN-free.
+func validate(cost [][]float64) (r, t int, err error) {
+	r = len(cost)
+	if r == 0 {
+		return 0, 0, nil
+	}
+	t = len(cost[0])
+	for j, row := range cost {
+		if len(row) != t {
+			return 0, 0, fmt.Errorf("match: row %d has %d entries, want %d", j, len(row), t)
+		}
+		for i, c := range row {
+			if math.IsNaN(c) {
+				return 0, 0, fmt.Errorf("match: cost[%d][%d] is NaN", j, i)
+			}
+		}
+	}
+	return r, t, nil
+}
+
+// Greedy assigns each request, in index (arrival) order, the cheapest
+// still-unassigned taxi. Entries with +Inf cost are never assigned.
+func Greedy(cost [][]float64) ([]int, error) {
+	r, t, err := validate(cost)
+	if err != nil {
+		return nil, err
+	}
+	partner := make([]int, r)
+	taken := make([]bool, t)
+	for j := 0; j < r; j++ {
+		best, bestCost := Unmatched, math.Inf(1)
+		for i := 0; i < t; i++ {
+			if !taken[i] && cost[j][i] < bestCost {
+				best, bestCost = i, cost[j][i]
+			}
+		}
+		partner[j] = best
+		if best != Unmatched {
+			taken[best] = true
+		}
+	}
+	return partner, nil
+}
+
+// MinCost returns a minimum-total-cost matching of maximum cardinality
+// min(r, t): every request is matched when taxis are plentiful, every
+// taxi is busy when requests are. +Inf entries are treated as forbidden;
+// if forbidden edges make full cardinality impossible, the affected
+// requests are left unmatched.
+func MinCost(cost [][]float64) (partner []int, total float64, err error) {
+	r, t, err := validate(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	if r == 0 || t == 0 {
+		return filled(r, Unmatched), 0, nil
+	}
+	if r <= t {
+		partner = hungarian(cost, r, t)
+	} else {
+		// Transpose so the row side is the smaller one.
+		tr := make([][]float64, t)
+		for i := 0; i < t; i++ {
+			tr[i] = make([]float64, r)
+			for j := 0; j < r; j++ {
+				tr[i][j] = cost[j][i]
+			}
+		}
+		taxiPartner := hungarian(tr, t, r)
+		partner = filled(r, Unmatched)
+		for i, j := range taxiPartner {
+			if j != Unmatched {
+				partner[j] = i
+			}
+		}
+	}
+	for j, i := range partner {
+		if i != Unmatched {
+			total += cost[j][i]
+		}
+	}
+	return partner, total, nil
+}
+
+// forbiddenCost substitutes for +Inf edges inside the Hungarian solver;
+// pairs assigned at or above half this value are reported Unmatched.
+const forbiddenCost = 1e15
+
+// hungarian solves the rectangular assignment problem for n rows and m
+// columns, n <= m, minimising total cost. It is the O(n^2 m) potentials
+// formulation with shortest augmenting paths (Jonker–Volgenant family).
+// +Inf edges are substituted with forbiddenCost and stripped from the
+// result, so rows with no usable column stay unmatched.
+func hungarian(cost [][]float64, n, m int) []int {
+	edge := func(r, c int) float64 {
+		e := cost[r][c]
+		if math.IsInf(e, 1) || e > forbiddenCost {
+			return forbiddenCost
+		}
+		return e
+	}
+	// Row and column potentials; colRow[c] is the row assigned to
+	// column c; way[c] is the column preceding c on the shortest
+	// augmenting path. Index 0 is a virtual root (1-based internally).
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	colRow := make([]int, m+1)
+	way := make([]int, m+1)
+	minv := make([]float64, m+1)
+	used := make([]bool, m+1)
+	for r := 1; r <= n; r++ {
+		colRow[0] = r
+		j0 := 0
+		for c := range minv {
+			minv[c] = math.Inf(1)
+			used[c] = false
+		}
+		for {
+			used[j0] = true
+			i0 := colRow[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for c := 1; c <= m; c++ {
+				if used[c] {
+					continue
+				}
+				cur := edge(i0-1, c-1) - u[i0] - v[c]
+				if cur < minv[c] {
+					minv[c] = cur
+					way[c] = j0
+				}
+				if minv[c] < delta {
+					delta = minv[c]
+					j1 = c
+				}
+			}
+			for c := 0; c <= m; c++ {
+				if used[c] {
+					u[colRow[c]] += delta
+					v[c] -= delta
+				} else {
+					minv[c] -= delta
+				}
+			}
+			j0 = j1
+			if colRow[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the path.
+		for j0 != 0 {
+			j1 := way[j0]
+			colRow[j0] = colRow[j1]
+			j0 = j1
+		}
+	}
+	partner := filled(n, Unmatched)
+	for c := 1; c <= m; c++ {
+		if r := colRow[c]; r > 0 && edge(r-1, c-1) < forbiddenCost/2 {
+			partner[r-1] = c - 1
+		}
+	}
+	return partner
+}
+
+// Bottleneck returns a maximum-cardinality matching minimising the
+// largest matched cost (min-max). It binary-searches the sorted distinct
+// finite costs, checking each candidate threshold with Hopcroft–Karp.
+// The returned maxCost is the bottleneck value (0 when nothing matches).
+func Bottleneck(cost [][]float64) (partner []int, maxCost float64, err error) {
+	r, t, err := validate(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	if r == 0 || t == 0 {
+		return filled(r, Unmatched), 0, nil
+	}
+	var values []float64
+	for _, row := range cost {
+		for _, c := range row {
+			if !math.IsInf(c, 1) {
+				values = append(values, c)
+			}
+		}
+	}
+	if len(values) == 0 {
+		return filled(r, Unmatched), 0, nil
+	}
+	sort.Float64s(values)
+	values = dedupe(values)
+
+	// Maximum achievable cardinality uses every finite edge.
+	full := matchingUnderThreshold(cost, values[len(values)-1])
+	target := size(full)
+	if target == 0 {
+		return filled(r, Unmatched), 0, nil
+	}
+
+	lo, hi := 0, len(values)-1
+	best := full
+	bestVal := values[hi]
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		m := matchingUnderThreshold(cost, values[mid])
+		if size(m) >= target {
+			best, bestVal = m, values[mid]
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, bestVal, nil
+}
+
+func matchingUnderThreshold(cost [][]float64, threshold float64) []int {
+	r := len(cost)
+	t := len(cost[0])
+	adj := make([][]int, r)
+	for j := 0; j < r; j++ {
+		for i := 0; i < t; i++ {
+			if cost[j][i] <= threshold {
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	return HopcroftKarp(adj, t)
+}
+
+func size(partner []int) int {
+	n := 0
+	for _, p := range partner {
+		if p != Unmatched {
+			n++
+		}
+	}
+	return n
+}
+
+func filled(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func dedupe(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

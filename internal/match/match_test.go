@@ -1,0 +1,485 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteMinCost tries every assignment of rows to distinct columns (for
+// tiny matrices) and returns the minimum total cost at maximum
+// cardinality, skipping +Inf edges.
+func bruteMinCost(cost [][]float64) (bestSize int, bestTotal float64) {
+	r := len(cost)
+	if r == 0 {
+		return 0, 0
+	}
+	t := len(cost[0])
+	usedCol := make([]bool, t)
+	bestTotal = math.Inf(1)
+
+	var rec func(j, matched int, total float64)
+	rec = func(j, matched int, total float64) {
+		if j == r {
+			if matched > bestSize || (matched == bestSize && total < bestTotal) {
+				bestSize, bestTotal = matched, total
+			}
+			return
+		}
+		rec(j+1, matched, total)
+		for i := 0; i < t; i++ {
+			if !usedCol[i] && !math.IsInf(cost[j][i], 1) {
+				usedCol[i] = true
+				rec(j+1, matched+1, total+cost[j][i])
+				usedCol[i] = false
+			}
+		}
+	}
+	rec(0, 0, 0)
+	return bestSize, bestTotal
+}
+
+// bruteBottleneck returns the minimum possible maximum edge cost over all
+// maximum-cardinality matchings.
+func bruteBottleneck(cost [][]float64) (bestSize int, bestMax float64) {
+	r := len(cost)
+	if r == 0 {
+		return 0, 0
+	}
+	t := len(cost[0])
+	usedCol := make([]bool, t)
+	bestMax = math.Inf(1)
+
+	var rec func(j, matched int, maxSoFar float64)
+	rec = func(j, matched int, maxSoFar float64) {
+		if j == r {
+			if matched > bestSize || (matched == bestSize && maxSoFar < bestMax) {
+				bestSize, bestMax = matched, maxSoFar
+			}
+			return
+		}
+		rec(j+1, matched, maxSoFar)
+		for i := 0; i < t; i++ {
+			if !usedCol[i] && !math.IsInf(cost[j][i], 1) {
+				usedCol[i] = true
+				rec(j+1, matched+1, math.Max(maxSoFar, cost[j][i]))
+				usedCol[i] = false
+			}
+		}
+	}
+	rec(0, 0, 0)
+	if bestSize == 0 {
+		bestMax = 0
+	}
+	return bestSize, bestMax
+}
+
+func randomCost(rng *rand.Rand, r, t int, infProb float64) [][]float64 {
+	cost := make([][]float64, r)
+	for j := range cost {
+		cost[j] = make([]float64, t)
+		for i := range cost[j] {
+			if rng.Float64() < infProb {
+				cost[j][i] = math.Inf(1)
+			} else {
+				cost[j][i] = float64(rng.Intn(20))
+			}
+		}
+	}
+	return cost
+}
+
+func matchedSize(partner []int) int {
+	n := 0
+	for _, p := range partner {
+		if p != Unmatched {
+			n++
+		}
+	}
+	return n
+}
+
+func assertValidMatching(t *testing.T, partner []int, cost [][]float64) {
+	t.Helper()
+	seen := make(map[int]bool)
+	for j, i := range partner {
+		if i == Unmatched {
+			continue
+		}
+		if i < 0 || i >= len(cost[j]) {
+			t.Fatalf("partner[%d] = %d out of range", j, i)
+		}
+		if seen[i] {
+			t.Fatalf("taxi %d assigned twice", i)
+		}
+		seen[i] = true
+		if math.IsInf(cost[j][i], 1) {
+			t.Fatalf("pair (%d, %d) uses a forbidden edge", j, i)
+		}
+	}
+}
+
+func TestGreedy(t *testing.T) {
+	cost := [][]float64{
+		{1, 5, 3},
+		{2, 1, 9},
+		{1, 1, 1},
+	}
+	partner, err := Greedy(cost)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	// r0 takes t0 (cost 1); r1 takes t1 (cost 1); r2 takes t2.
+	want := []int{0, 1, 2}
+	for j, w := range want {
+		if partner[j] != w {
+			t.Errorf("partner[%d] = %d, want %d", j, partner[j], w)
+		}
+	}
+}
+
+func TestGreedyArrivalOrderMatters(t *testing.T) {
+	// The greedy baseline is order-sensitive: the first request grabs
+	// the shared nearest taxi.
+	cost := [][]float64{
+		{1, 10},
+		{1, 2},
+	}
+	partner, err := Greedy(cost)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if partner[0] != 0 || partner[1] != 1 {
+		t.Errorf("partner = %v, want [0 1]", partner)
+	}
+}
+
+func TestGreedySkipsForbidden(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, inf},
+		{inf, 3},
+	}
+	partner, err := Greedy(cost)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if partner[0] != Unmatched {
+		t.Errorf("partner[0] = %d, want Unmatched", partner[0])
+	}
+	if partner[1] != 1 {
+		t.Errorf("partner[1] = %d, want 1", partner[1])
+	}
+}
+
+func TestGreedyMoreRequestsThanTaxis(t *testing.T) {
+	cost := [][]float64{
+		{1},
+		{2},
+		{3},
+	}
+	partner, err := Greedy(cost)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if partner[0] != 0 || partner[1] != Unmatched || partner[2] != Unmatched {
+		t.Errorf("partner = %v", partner)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := Greedy(ragged); err == nil {
+		t.Error("Greedy accepted a ragged matrix")
+	}
+	if _, _, err := MinCost(ragged); err == nil {
+		t.Error("MinCost accepted a ragged matrix")
+	}
+	if _, _, err := Bottleneck(ragged); err == nil {
+		t.Error("Bottleneck accepted a ragged matrix")
+	}
+	nan := [][]float64{{math.NaN()}}
+	if _, err := Greedy(nan); err == nil {
+		t.Error("Greedy accepted NaN cost")
+	}
+}
+
+func TestMinCostKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	partner, total, err := MinCost(cost)
+	if err != nil {
+		t.Fatalf("MinCost: %v", err)
+	}
+	assertValidMatching(t, partner, cost)
+	if total != 5 { // 1 + 2 + 2
+		t.Errorf("total = %v, want 5 (partner %v)", total, partner)
+	}
+}
+
+func TestMinCostEmpty(t *testing.T) {
+	partner, total, err := MinCost(nil)
+	if err != nil || len(partner) != 0 || total != 0 {
+		t.Errorf("MinCost(nil) = %v, %v, %v", partner, total, err)
+	}
+	partner, _, err = MinCost([][]float64{})
+	if err != nil || len(partner) != 0 {
+		t.Errorf("MinCost(empty) = %v, %v", partner, err)
+	}
+}
+
+func TestMinCostMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		r, tt := 1+rng.Intn(5), 1+rng.Intn(5)
+		cost := randomCost(rng, r, tt, 0.15)
+		partner, total, err := MinCost(cost)
+		if err != nil {
+			t.Fatalf("MinCost: %v", err)
+		}
+		assertValidMatching(t, partner, cost)
+
+		wantSize, wantTotal := bruteMinCost(cost)
+		if matchedSize(partner) != wantSize {
+			t.Fatalf("trial %d: size %d, want %d (cost %v)", trial, matchedSize(partner), wantSize, cost)
+		}
+		if wantSize > 0 && math.Abs(total-wantTotal) > 1e-9 {
+			t.Fatalf("trial %d: total %v, want %v (cost %v, partner %v)",
+				trial, total, wantTotal, cost, partner)
+		}
+	}
+}
+
+func TestMinCostNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 2},
+		{3, -4},
+	}
+	partner, total, err := MinCost(cost)
+	if err != nil {
+		t.Fatalf("MinCost: %v", err)
+	}
+	assertValidMatching(t, partner, cost)
+	if total != -9 {
+		t.Errorf("total = %v, want -9", total)
+	}
+}
+
+func TestMinCostRectangularBothWays(t *testing.T) {
+	wide := [][]float64{
+		{9, 1, 9, 9},
+		{9, 9, 1, 9},
+	}
+	partner, total, err := MinCost(wide)
+	if err != nil {
+		t.Fatalf("MinCost wide: %v", err)
+	}
+	if total != 2 || partner[0] != 1 || partner[1] != 2 {
+		t.Errorf("wide: partner %v total %v", partner, total)
+	}
+
+	tall := [][]float64{
+		{9, 9},
+		{1, 9},
+		{9, 1},
+		{9, 9},
+	}
+	partner, total, err = MinCost(tall)
+	if err != nil {
+		t.Fatalf("MinCost tall: %v", err)
+	}
+	if total != 2 || partner[1] != 0 || partner[2] != 1 {
+		t.Errorf("tall: partner %v total %v", partner, total)
+	}
+	if matchedSize(partner) != 2 {
+		t.Errorf("tall: size %d, want 2", matchedSize(partner))
+	}
+}
+
+func TestBottleneckKnown(t *testing.T) {
+	cost := [][]float64{
+		{1, 100},
+		{2, 100},
+	}
+	partner, maxCost, err := Bottleneck(cost)
+	if err != nil {
+		t.Fatalf("Bottleneck: %v", err)
+	}
+	assertValidMatching(t, partner, cost)
+	if maxCost != 100 {
+		t.Errorf("maxCost = %v, want 100 (both must match)", maxCost)
+	}
+
+	cost = [][]float64{
+		{1, 3},
+		{2, 9},
+	}
+	_, maxCost, err = Bottleneck(cost)
+	if err != nil {
+		t.Fatalf("Bottleneck: %v", err)
+	}
+	// r1 must take t0 (2), r0 takes t1 (3): bottleneck 3 beats {1,9}.
+	if maxCost != 3 {
+		t.Errorf("maxCost = %v, want 3", maxCost)
+	}
+}
+
+func TestBottleneckMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 300; trial++ {
+		r, tt := 1+rng.Intn(5), 1+rng.Intn(5)
+		cost := randomCost(rng, r, tt, 0.2)
+		partner, maxCost, err := Bottleneck(cost)
+		if err != nil {
+			t.Fatalf("Bottleneck: %v", err)
+		}
+		assertValidMatching(t, partner, cost)
+
+		wantSize, wantMax := bruteBottleneck(cost)
+		if matchedSize(partner) != wantSize {
+			t.Fatalf("trial %d: size %d, want %d", trial, matchedSize(partner), wantSize)
+		}
+		if wantSize > 0 && math.Abs(maxCost-wantMax) > 1e-9 {
+			t.Fatalf("trial %d: maxCost %v, want %v (cost %v)", trial, maxCost, wantMax, cost)
+		}
+	}
+}
+
+func TestBottleneckAllForbidden(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{{inf}, {inf}}
+	partner, maxCost, err := Bottleneck(cost)
+	if err != nil {
+		t.Fatalf("Bottleneck: %v", err)
+	}
+	if matchedSize(partner) != 0 || maxCost != 0 {
+		t.Errorf("partner %v maxCost %v, want empty", partner, maxCost)
+	}
+}
+
+func TestHopcroftKarpKnown(t *testing.T) {
+	// Perfect matching exists on a 3x3 cycle-ish graph.
+	adj := [][]int{
+		{0, 1},
+		{1, 2},
+		{2, 0},
+	}
+	partner := HopcroftKarp(adj, 3)
+	if matchedSize(partner) != 3 {
+		t.Errorf("size = %d, want 3", matchedSize(partner))
+	}
+}
+
+func TestHopcroftKarpMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		l, r := 1+rng.Intn(6), 1+rng.Intn(6)
+		adj := make([][]int, l)
+		cost := make([][]float64, l) // reuse brute force via 0/inf costs
+		for j := 0; j < l; j++ {
+			cost[j] = make([]float64, r)
+			for i := 0; i < r; i++ {
+				if rng.Float64() < 0.4 {
+					adj[j] = append(adj[j], i)
+				} else {
+					cost[j][i] = math.Inf(1)
+				}
+			}
+		}
+		partner := HopcroftKarp(adj, r)
+		wantSize, _ := bruteMinCost(cost)
+		if matchedSize(partner) != wantSize {
+			t.Fatalf("trial %d: size %d, want %d (adj %v)", trial, matchedSize(partner), wantSize, adj)
+		}
+		seen := make(map[int]bool)
+		for _, p := range partner {
+			if p == Unmatched {
+				continue
+			}
+			if seen[p] {
+				t.Fatalf("trial %d: right vertex %d matched twice", trial, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestHopcroftKarpEmpty(t *testing.T) {
+	if partner := HopcroftKarp(nil, 5); len(partner) != 0 {
+		t.Errorf("HopcroftKarp(nil) = %v", partner)
+	}
+	partner := HopcroftKarp([][]int{nil, nil}, 0)
+	if matchedSize(partner) != 0 {
+		t.Errorf("no-edge graph matched %d", matchedSize(partner))
+	}
+}
+
+func TestQuickMinCostNeverWorseThanGreedy(t *testing.T) {
+	// At equal cardinality, the Hungarian solution's total can never
+	// exceed greedy's.
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, tt := 1+rng.Intn(6), 1+rng.Intn(6)
+		cost := randomCost(rng, r, tt, 0.1)
+		greedy, err := Greedy(cost)
+		if err != nil {
+			return false
+		}
+		opt, total, err := MinCost(cost)
+		if err != nil {
+			return false
+		}
+		if matchedSize(opt) < matchedSize(greedy) {
+			return false // Hungarian is maximum-cardinality
+		}
+		if matchedSize(opt) != matchedSize(greedy) {
+			return true // different cardinality: totals not comparable
+		}
+		greedyTotal := 0.0
+		for j, i := range greedy {
+			if i != Unmatched {
+				greedyTotal += cost[j][i]
+			}
+		}
+		return total <= greedyTotal+1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBottleneckNeverWorseThanMinCostMax(t *testing.T) {
+	// The bottleneck matching's max edge is a lower bound over all
+	// maximum-cardinality matchings, so MinCost's largest matched edge
+	// can never beat it.
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, tt := 1+rng.Intn(6), 1+rng.Intn(6)
+		cost := randomCost(rng, r, tt, 0.1)
+		bn, bnMax, err := Bottleneck(cost)
+		if err != nil {
+			return false
+		}
+		mc, _, err := MinCost(cost)
+		if err != nil {
+			return false
+		}
+		if matchedSize(bn) != matchedSize(mc) {
+			return false // both must be maximum cardinality
+		}
+		mcMax := 0.0
+		for j, i := range mc {
+			if i != Unmatched && cost[j][i] > mcMax {
+				mcMax = cost[j][i]
+			}
+		}
+		return bnMax <= mcMax+1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

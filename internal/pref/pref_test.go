@@ -1,0 +1,306 @@
+package pref
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/geo"
+)
+
+func simpleInstance(t *testing.T, params Params) *Instance {
+	t.Helper()
+	reqs := []fleet.Request{
+		{ID: 0, Pickup: geo.Point{X: 0, Y: 0}, Dropoff: geo.Point{X: 4, Y: 0}},
+		{ID: 1, Pickup: geo.Point{X: 10, Y: 0}, Dropoff: geo.Point{X: 10, Y: 1}},
+	}
+	taxis := []fleet.Taxi{
+		{ID: 0, Pos: geo.Point{X: 1, Y: 0}},
+		{ID: 1, Pos: geo.Point{X: 9, Y: 0}},
+	}
+	inst, err := NewInstance(reqs, taxis, geo.EuclidMetric, params)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return inst
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		params  Params
+		wantErr bool
+	}{
+		{name: "defaults", params: DefaultParams()},
+		{name: "unbounded", params: Unbounded()},
+		{name: "negative alpha", params: Params{Alpha: -1}, wantErr: true},
+		{name: "negative beta", params: Params{Beta: -0.5}, wantErr: true},
+		{name: "nan threshold", params: Params{MaxPickup: math.NaN()}, wantErr: true},
+		{name: "nan net", params: Params{MaxNet: math.NaN()}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.params.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewInstanceRejectsBadParams(t *testing.T) {
+	if _, err := NewInstance(nil, nil, geo.EuclidMetric, Params{Alpha: -1}); err == nil {
+		t.Error("NewInstance accepted invalid params")
+	}
+}
+
+func TestInstanceDistances(t *testing.T) {
+	inst := simpleInstance(t, Unbounded())
+	if got := inst.TripDist[0]; got != 4 {
+		t.Errorf("TripDist[0] = %v, want 4", got)
+	}
+	if got := inst.TripDist[1]; got != 1 {
+		t.Errorf("TripDist[1] = %v, want 1", got)
+	}
+	if got := inst.PickupDist[0][0]; got != 1 {
+		t.Errorf("PickupDist[0][0] = %v, want 1", got)
+	}
+	if got := inst.PickupDist[1][0]; got != 9 {
+		t.Errorf("PickupDist[1][0] = %v, want 9", got)
+	}
+}
+
+func TestInterestModelCosts(t *testing.T) {
+	params := Unbounded()
+	params.Alpha = 2
+	inst := simpleInstance(t, params)
+
+	// Passenger cost is the pickup distance.
+	if got := inst.ReqCost[0][0]; got != 1 {
+		t.Errorf("ReqCost[0][0] = %v, want 1", got)
+	}
+	// Taxi cost is pickup - alpha * trip: 1 - 2*4 = -7.
+	if got := inst.TaxiCost[0][0]; got != -7 {
+		t.Errorf("TaxiCost[0][0] = %v, want -7", got)
+	}
+	// Taxi 1 serving request 0: 9 - 2*4 = 1.
+	if got := inst.TaxiCost[1][0]; got != 1 {
+		t.Errorf("TaxiCost[1][0] = %v, want 1", got)
+	}
+}
+
+func TestDummyThresholds(t *testing.T) {
+	params := Params{Alpha: 1, Beta: 1, MaxPickup: 2, MaxNet: 0}
+	inst := simpleInstance(t, params)
+
+	// Taxi 1 is 9 km from request 0's pickup: behind the passenger
+	// dummy.
+	if inst.ReqOK[0][1] {
+		t.Error("ReqOK[0][1] = true, want false (beyond MaxPickup)")
+	}
+	// Taxi 0 is 1 km away: acceptable.
+	if !inst.ReqOK[0][0] {
+		t.Error("ReqOK[0][0] = false, want true")
+	}
+	// Taxi 0 on request 0 nets 1 - 4 = -3 <= 0: acceptable to taxi.
+	if !inst.TaxiOK[0][0] {
+		t.Error("TaxiOK[0][0] = false, want true")
+	}
+	// Taxi 1 on request 1 nets 1 - 1 = 0 <= 0: acceptable.
+	if !inst.TaxiOK[1][1] {
+		t.Error("TaxiOK[1][1] = false, want true")
+	}
+	// Taxi 0 on request 1 nets 9 - 1 = 8 > 0: behind the taxi dummy.
+	if inst.TaxiOK[0][1] {
+		t.Error("TaxiOK[0][1] = true, want false (beyond MaxNet)")
+	}
+}
+
+func TestSeatInfeasiblePairsBehindDummies(t *testing.T) {
+	reqs := []fleet.Request{
+		{ID: 0, Pickup: geo.Point{}, Dropoff: geo.Point{X: 1}, Seats: 5},
+	}
+	taxis := []fleet.Taxi{
+		{ID: 0, Pos: geo.Point{X: 0.1}, Seats: 4},
+		{ID: 1, Pos: geo.Point{X: 0.2}, Seats: 6},
+	}
+	inst, err := NewInstance(reqs, taxis, geo.EuclidMetric, Unbounded())
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	if inst.ReqOK[0][0] || inst.TaxiOK[0][0] {
+		t.Error("seat-infeasible pair (r0, t0) must be behind both dummies")
+	}
+	if !inst.ReqOK[0][1] || !inst.TaxiOK[1][0] {
+		t.Error("seat-feasible pair (r0, t1) must be acceptable")
+	}
+}
+
+func TestMarketValidate(t *testing.T) {
+	inst := simpleInstance(t, DefaultParams())
+	if err := inst.Market.Validate(); err != nil {
+		t.Errorf("Validate on well-formed market: %v", err)
+	}
+
+	bad := inst.Market
+	bad.ReqCost = bad.ReqCost[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted inconsistent matrix sizes")
+	}
+
+	nan := simpleInstance(t, DefaultParams()).Market
+	nan.TaxiCost[0][0] = math.NaN()
+	if err := nan.Validate(); err == nil {
+		t.Error("Validate accepted NaN cost")
+	}
+}
+
+func TestPreferenceOrdering(t *testing.T) {
+	inst := simpleInstance(t, Unbounded())
+	// Request 0: taxi 0 at distance 1 beats taxi 1 at distance 9.
+	if !inst.ReqPrefers(0, 0, 1) {
+		t.Error("ReqPrefers(0, 0, 1) = false")
+	}
+	if inst.ReqPrefers(0, 1, 0) {
+		t.Error("ReqPrefers(0, 1, 0) = true")
+	}
+	list := inst.ReqPrefList(0)
+	if len(list) != 2 || list[0] != 0 || list[1] != 1 {
+		t.Errorf("ReqPrefList(0) = %v, want [0 1]", list)
+	}
+}
+
+func TestTieBreakByIndex(t *testing.T) {
+	reqCost := [][]float64{{5, 5}}
+	taxiCost := [][]float64{{3}, {3}}
+	m := Market{
+		ReqCost:  reqCost,
+		TaxiCost: taxiCost,
+		ReqOK:    [][]bool{{true, true}},
+		TaxiOK:   [][]bool{{true}, {true}},
+	}
+	if !m.ReqPrefers(0, 0, 1) || m.ReqPrefers(0, 1, 0) {
+		t.Error("request tie must break toward the lower taxi index")
+	}
+	if !m.TaxiPrefers(0, 0, 0) == false {
+		// Self-comparison is never a strict preference.
+		t.Error("TaxiPrefers(i, j, j) must be false")
+	}
+}
+
+func TestTaxiPrefList(t *testing.T) {
+	inst := simpleInstance(t, Unbounded())
+	// Taxi 0 costs: r0 = 1-4 = -3, r1 = 10-1 = 9. So r0 first.
+	list := inst.TaxiPrefList(0)
+	if len(list) != 2 || list[0] != 0 || list[1] != 1 {
+		t.Errorf("TaxiPrefList(0) = %v, want [0 1]", list)
+	}
+}
+
+func TestPrefListExcludesNonMutual(t *testing.T) {
+	inst := simpleInstance(t, DefaultParams())
+	// With MaxNet = 0, taxi 0 rejects request 1 (net 8 > 0), so taxi 0
+	// must not appear in request 1's list even though the passenger
+	// side accepts it (9 km < 10 km MaxPickup).
+	for _, i := range inst.ReqPrefList(1) {
+		if i == 0 {
+			t.Error("ReqPrefList(1) contains taxi 0 despite taxi-side rejection")
+		}
+	}
+}
+
+func TestDissatisfactionHelpers(t *testing.T) {
+	r := fleet.Request{Pickup: geo.Point{X: 3, Y: 4}, Dropoff: geo.Point{X: 3, Y: 10}}
+	pos := geo.Point{}
+	if got := PassengerDissatisfaction(pos, r, geo.EuclidMetric); got != 5 {
+		t.Errorf("PassengerDissatisfaction = %v, want 5", got)
+	}
+	// 5 - 2*6 = -7.
+	if got := TaxiDissatisfaction(pos, r, geo.EuclidMetric, 2); got != -7 {
+		t.Errorf("TaxiDissatisfaction = %v, want -7", got)
+	}
+}
+
+func TestCostsMatchDissatisfactionMetrics(t *testing.T) {
+	// The market costs must be exactly the paper's dissatisfaction
+	// metrics, for any instance.
+	rng := rand.New(rand.NewSource(10))
+	var reqs []fleet.Request
+	var taxis []fleet.Taxi
+	for j := 0; j < 8; j++ {
+		reqs = append(reqs, fleet.Request{
+			ID:      j,
+			Pickup:  geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10},
+			Dropoff: geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10},
+		})
+	}
+	for i := 0; i < 5; i++ {
+		taxis = append(taxis, fleet.Taxi{
+			ID:  i,
+			Pos: geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10},
+		})
+	}
+	params := DefaultParams()
+	inst, err := NewInstance(reqs, taxis, geo.EuclidMetric, params)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	for i, taxi := range taxis {
+		for j, req := range reqs {
+			wantP := PassengerDissatisfaction(taxi.Pos, req, geo.EuclidMetric)
+			if got := inst.ReqCost[j][i]; math.Abs(got-wantP) > 1e-12 {
+				t.Fatalf("ReqCost[%d][%d] = %v, want %v", j, i, got, wantP)
+			}
+			wantT := TaxiDissatisfaction(taxi.Pos, req, geo.EuclidMetric, params.Alpha)
+			if got := inst.TaxiCost[i][j]; math.Abs(got-wantT) > 1e-12 {
+				t.Fatalf("TaxiCost[%d][%d] = %v, want %v", i, j, got, wantT)
+			}
+		}
+	}
+}
+
+func TestSplitOversized(t *testing.T) {
+	reqs := []fleet.Request{
+		{ID: 0, Seats: 2},
+		{ID: 1, Seats: 9},
+		{ID: 2, Seats: 4},
+	}
+	got := SplitOversized(reqs, 4, 100)
+	// 9 seats splits into 4 + 4 + 1.
+	if len(got) != 5 {
+		t.Fatalf("got %d requests, want 5: %+v", len(got), got)
+	}
+	totalSeats := 0
+	ids := make(map[int]bool)
+	for _, r := range got {
+		if r.SeatCount() > 4 {
+			t.Errorf("request %d still oversized: %d seats", r.ID, r.SeatCount())
+		}
+		if ids[r.ID] {
+			t.Errorf("duplicate ID %d", r.ID)
+		}
+		ids[r.ID] = true
+		totalSeats += r.SeatCount()
+	}
+	if totalSeats != 2+9+4 {
+		t.Errorf("total seats = %d, want 15", totalSeats)
+	}
+	// The oversized request keeps its original ID for the first part.
+	if !ids[1] || !ids[100] || !ids[101] {
+		t.Errorf("ids = %v, want 1, 100, 101 present", ids)
+	}
+}
+
+func TestSplitOversizedPassThrough(t *testing.T) {
+	reqs := []fleet.Request{{ID: 0, Seats: 3}, {ID: 1}}
+	got := SplitOversized(reqs, 4, 50)
+	if len(got) != 2 || got[0] != reqs[0] || got[1] != reqs[1] {
+		t.Errorf("pass-through changed requests: %+v", got)
+	}
+	// Degenerate maxSeats clamps to 1.
+	got = SplitOversized([]fleet.Request{{ID: 0, Seats: 2}}, 0, 10)
+	if len(got) != 2 {
+		t.Errorf("maxSeats=0: got %d requests, want 2", len(got))
+	}
+}

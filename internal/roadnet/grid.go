@@ -1,0 +1,99 @@
+package roadnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stabledispatch/internal/geo"
+)
+
+// GridConfig describes a perturbed-grid city: rows × cols intersections
+// spaced `Spacing` kilometres apart, with intersection positions jittered
+// by up to Jitter·Spacing and each street segment independently removed
+// with probability DropProb (while keeping the network connected).
+type GridConfig struct {
+	Rows     int
+	Cols     int
+	Spacing  float64 // block length in km
+	Jitter   float64 // fraction of Spacing, in [0, 0.5)
+	DropProb float64 // probability of removing a non-bridge segment
+	Seed     int64
+}
+
+// Validate reports configuration errors.
+func (c GridConfig) Validate() error {
+	switch {
+	case c.Rows < 1 || c.Cols < 1:
+		return fmt.Errorf("roadnet: grid must be at least 1x1, got %dx%d", c.Rows, c.Cols)
+	case c.Spacing <= 0:
+		return fmt.Errorf("roadnet: spacing must be positive, got %v", c.Spacing)
+	case c.Jitter < 0 || c.Jitter >= 0.5:
+		return fmt.Errorf("roadnet: jitter must be in [0, 0.5), got %v", c.Jitter)
+	case c.DropProb < 0 || c.DropProb >= 1:
+		return fmt.Errorf("roadnet: drop probability must be in [0, 1), got %v", c.DropProb)
+	}
+	return nil
+}
+
+// NewGrid builds a perturbed-grid city per cfg. The result is always
+// connected: a spanning tree of grid segments is protected from removal.
+func NewGrid(cfg GridConfig) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := NewGraph(cfg.Rows * cfg.Cols)
+	idx := func(r, c int) int { return r*cfg.Cols + c }
+
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			jx := (rng.Float64()*2 - 1) * cfg.Jitter * cfg.Spacing
+			jy := (rng.Float64()*2 - 1) * cfg.Jitter * cfg.Spacing
+			g.AddNode(geo.Point{
+				X: float64(c)*cfg.Spacing + jx,
+				Y: float64(r)*cfg.Spacing + jy,
+			})
+		}
+	}
+
+	// Protect a spanning tree (a comb: full first column plus all rows)
+	// so dropped segments can never disconnect the network.
+	protected := make(map[[2]int]bool)
+	for r := 1; r < cfg.Rows; r++ {
+		protected[edgeKey(idx(r-1, 0), idx(r, 0))] = true
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 1; c < cfg.Cols; c++ {
+			protected[edgeKey(idx(r, c-1), idx(r, c))] = true
+		}
+	}
+
+	addMaybe := func(u, v int) error {
+		if !protected[edgeKey(u, v)] && rng.Float64() < cfg.DropProb {
+			return nil
+		}
+		return g.AddRoad(u, v)
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			if c+1 < cfg.Cols {
+				if err := addMaybe(idx(r, c), idx(r, c+1)); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < cfg.Rows {
+				if err := addMaybe(idx(r, c), idx(r+1, c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}

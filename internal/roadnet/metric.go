@@ -1,0 +1,151 @@
+package roadnet
+
+import (
+	"math"
+	"sync"
+
+	"stabledispatch/internal/geo"
+	"stabledispatch/internal/spatial"
+)
+
+// Metric adapts a Graph to the geo.Metric interface. Arbitrary points are
+// snapped to their nearest intersection; the travel distance is the walk
+// to the snap node, the shortest path between snap nodes, and the walk
+// from the destination snap node.
+//
+// Single-source Dijkstra results are memoised per source node, so a batch
+// of distance queries from the same origin (the common pattern when
+// building preference lists) costs one graph traversal. The cache is
+// bounded and safe for concurrent use.
+type Metric struct {
+	graph *Graph
+	snap  *spatial.Index
+
+	mu       sync.Mutex
+	cache    map[int][]float64
+	order    []int // FIFO eviction order of cached sources
+	capacity int
+}
+
+var _ geo.Metric = (*Metric)(nil)
+
+// NewMetric returns a Metric over g caching up to cacheSources
+// single-source shortest-path tables (minimum 1).
+func NewMetric(g *Graph, cacheSources int) *Metric {
+	if cacheSources < 1 {
+		cacheSources = 1
+	}
+	bounds := graphBounds(g)
+	snap := spatial.NewIndex(bounds, snapCellSize(bounds, g.NumNodes()))
+	for i := 0; i < g.NumNodes(); i++ {
+		snap.Insert(i, g.Node(i))
+	}
+	return &Metric{
+		graph:    g,
+		snap:     snap,
+		cache:    make(map[int][]float64, cacheSources),
+		capacity: cacheSources,
+	}
+}
+
+// Graph returns the underlying road network.
+func (m *Metric) Graph() *Graph { return m.graph }
+
+// Snap returns the nearest intersection to p, or -1 for an empty graph.
+func (m *Metric) Snap(p geo.Point) int {
+	id, _, ok := m.snap.Nearest(p)
+	if !ok {
+		return -1
+	}
+	return id
+}
+
+// Distance implements geo.Metric.
+func (m *Metric) Distance(a, b geo.Point) float64 {
+	u := m.Snap(a)
+	v := m.Snap(b)
+	if u < 0 || v < 0 {
+		return geo.Euclid(a, b)
+	}
+	walkIn := geo.Euclid(a, m.graph.Node(u))
+	walkOut := geo.Euclid(m.graph.Node(v), b)
+	return walkIn + m.nodeDistance(u, v) + walkOut
+}
+
+// Path returns the intersection sequence of a shortest path between the
+// snap nodes of a and b.
+func (m *Metric) Path(a, b geo.Point) ([]geo.Point, error) {
+	u := m.Snap(a)
+	v := m.Snap(b)
+	nodes, _, err := m.graph.ShortestPath(u, v)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]geo.Point, len(nodes))
+	for i, n := range nodes {
+		pts[i] = m.graph.Node(n)
+	}
+	return pts, nil
+}
+
+func (m *Metric) nodeDistance(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d, ok := m.cache[u]; ok {
+		return d[v]
+	}
+	if d, ok := m.cache[v]; ok {
+		return d[u]
+	}
+	dist := m.graph.ShortestDistances(u)
+	if len(m.cache) >= m.capacity {
+		oldest := m.order[0]
+		m.order = m.order[1:]
+		delete(m.cache, oldest)
+	}
+	m.cache[u] = dist
+	m.order = append(m.order, u)
+	return dist[v]
+}
+
+func graphBounds(g *Graph) geo.Rect {
+	if g.NumNodes() == 0 {
+		return geo.NewRect(geo.Point{}, geo.Point{X: 1, Y: 1})
+	}
+	r := geo.NewRect(g.Node(0), g.Node(0))
+	for i := 1; i < g.NumNodes(); i++ {
+		p := g.Node(i)
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	return r
+}
+
+func snapCellSize(bounds geo.Rect, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	area := bounds.Width() * bounds.Height()
+	if area <= 0 {
+		return 1
+	}
+	// Aim for roughly one node per cell.
+	size := area / float64(n)
+	if size <= 0 {
+		return 1
+	}
+	return math.Sqrt(size)
+}

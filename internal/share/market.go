@@ -1,0 +1,180 @@
+package share
+
+import (
+	"fmt"
+
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/geo"
+	"stabledispatch/internal/pref"
+)
+
+// Unit is one dispatch unit of Algorithm 3's second stage: a packed
+// group, or a single request that stayed unpacked. Each unit is
+// "regarded as an independent request" and matched to a taxi by
+// Algorithm 1 under the refined §V-A interest model.
+type Unit struct {
+	// Members are indices into the frame's request slice.
+	Members []int
+	// Plan is the unit's shared route (trivial for singles).
+	Plan RoutePlan
+}
+
+// SingleUnit builds the trivial unit for request idx riding alone.
+func SingleUnit(idx int, reqs []fleet.Request, m geo.Metric) Unit {
+	r := reqs[idx]
+	trip := r.TripDistance(m)
+	return Unit{
+		Members: []int{idx},
+		Plan: RoutePlan{
+			Stops: []fleet.Stop{
+				{RequestID: r.ID, Kind: fleet.StopPickup, Pos: r.Pickup},
+				{RequestID: r.ID, Kind: fleet.StopDropoff, Pos: r.Dropoff},
+			},
+			Length:       trip,
+			PickupOffset: []float64{0},
+			OnBoard:      []float64{trip},
+			MaxLoad:      r.SeatCount(),
+		},
+	}
+}
+
+// Units flattens the packing result into dispatch units ordered by their
+// first member index, which keeps the second-stage matching
+// deterministic.
+func (r PackResult) Units(reqs []fleet.Request, m geo.Metric) []Unit {
+	units := make([]Unit, 0, len(r.Groups)+len(r.Singles))
+	for _, g := range r.Groups {
+		units = append(units, Unit{Members: g.Members, Plan: g.Plan})
+	}
+	for _, idx := range r.Singles {
+		units = append(units, SingleUnit(idx, reqs, m))
+	}
+	// Insertion sort by first member keeps the common case (already
+	// mostly ordered) cheap and avoids an import for one call.
+	for i := 1; i < len(units); i++ {
+		for j := i; j > 0 && units[j].Members[0] < units[j-1].Members[0]; j-- {
+			units[j], units[j-1] = units[j-1], units[j]
+		}
+	}
+	return units
+}
+
+// Start returns the route's first stop position (the shared route's
+// anchor; the taxi drives here first).
+func (u Unit) Start() geo.Point {
+	return u.Plan.Stops[0].Pos
+}
+
+// RequestIDs returns the fleet request IDs of the unit's members.
+func (u Unit) RequestIDs(reqs []fleet.Request) []int {
+	ids := make([]int, len(u.Members))
+	for g, idx := range u.Members {
+		ids[g] = reqs[idx].ID
+	}
+	return ids
+}
+
+// Assignment converts the unit into a dispatchable fleet.Assignment for
+// the given taxi.
+func (u Unit) Assignment(taxiID int, reqs []fleet.Request) fleet.Assignment {
+	return fleet.Assignment{
+		TaxiID:   taxiID,
+		Requests: u.RequestIDs(reqs),
+		Route:    append([]fleet.Stop(nil), u.Plan.Stops...),
+	}
+}
+
+// PassengerCost returns the unit's preference value for a taxi with the
+// given lead-in distance to the route start: the average over members of
+// D_ck(t, r^s) + β·[D_ck(r^s, r^d) − D(r^s, r^d)]. Lower is better; for
+// a single rider this reduces to D(t, r^s), the non-sharing value.
+func (u Unit) PassengerCost(lead float64, reqs []fleet.Request, m geo.Metric, beta float64) float64 {
+	total := 0.0
+	for g, idx := range u.Members {
+		solo := reqs[idx].TripDistance(m)
+		total += lead + u.Plan.PickupOffset[g] + beta*u.Plan.Detour(g, solo)
+	}
+	return total / float64(len(u.Members))
+}
+
+// TaxiCost returns the driver's preference value for serving the unit
+// with the given lead-in distance: D_ck(t) − (α+1)·Σ D(r^s, r^d), where
+// D_ck(t) is the total driving distance (lead-in plus route). For a
+// single rider this reduces to D(t, r^s) − α·D(r^s, r^d).
+func (u Unit) TaxiCost(lead float64, reqs []fleet.Request, m geo.Metric, alpha float64) float64 {
+	totalTrip := 0.0
+	for _, idx := range u.Members {
+		totalTrip += reqs[idx].TripDistance(m)
+	}
+	return lead + u.Plan.Length - (alpha+1)*totalTrip
+}
+
+// MemberDissatisfactions returns each member's passenger-dissatisfaction
+// metric for a taxi dispatched from pos:
+// D_ck(t, r^s) + β·[D_ck(r^s, r^d) − D(r^s, r^d)].
+func (u Unit) MemberDissatisfactions(pos geo.Point, reqs []fleet.Request, m geo.Metric, beta float64) []float64 {
+	lead := m.Distance(pos, u.Start())
+	out := make([]float64, len(u.Members))
+	for g, idx := range u.Members {
+		solo := reqs[idx].TripDistance(m)
+		out[g] = lead + u.Plan.PickupOffset[g] + beta*u.Plan.Detour(g, solo)
+	}
+	return out
+}
+
+// BuildMarket computes the second-stage matching market between units and
+// taxis under the §V-A interest model. Acceptability mirrors the
+// non-sharing dummies: a unit accepts taxis whose preference value stays
+// within params.MaxPickup, a taxi accepts units within params.MaxNet, and
+// both sides reject pairs the taxi lacks seats for.
+func BuildMarket(units []Unit, reqs []fleet.Request, taxis []fleet.Taxi, m geo.Metric, params pref.Params) (*pref.Market, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	for _, u := range units {
+		if len(u.Members) == 0 || len(u.Plan.Stops) == 0 {
+			return nil, fmt.Errorf("share: unit with no members or empty plan")
+		}
+	}
+	nu, nt := len(units), len(taxis)
+	mk := &pref.Market{
+		ReqCost:  make([][]float64, nu),
+		TaxiCost: make([][]float64, nt),
+		ReqOK:    make([][]bool, nu),
+		TaxiOK:   make([][]bool, nt),
+	}
+	for k := 0; k < nu; k++ {
+		mk.ReqCost[k] = make([]float64, nt)
+		mk.ReqOK[k] = make([]bool, nt)
+	}
+	for i := 0; i < nt; i++ {
+		mk.TaxiCost[i] = make([]float64, nu)
+		mk.TaxiOK[i] = make([]bool, nu)
+	}
+	// Both interest formulas decompose as lead-in distance plus a
+	// taxi-independent unit constant, so precompute the constants once
+	// per unit and spend exactly one metric evaluation per (unit, taxi)
+	// pair — this is the per-frame hot loop of the sharing dispatchers.
+	passengerConst := make([]float64, nu)
+	taxiConst := make([]float64, nu)
+	starts := make([]geo.Point, nu)
+	for k, u := range units {
+		passengerConst[k] = u.PassengerCost(0, reqs, m, params.Beta)
+		taxiConst[k] = u.TaxiCost(0, reqs, m, params.Alpha)
+		starts[k] = u.Start()
+	}
+	for i, taxi := range taxis {
+		for k, u := range units {
+			lead := m.Distance(taxi.Pos, starts[k])
+			pc := lead + passengerConst[k]
+			tc := lead + taxiConst[k]
+			seatsOK := taxi.Capacity() >= u.Plan.MaxLoad
+
+			mk.ReqCost[k][i] = pc
+			mk.TaxiCost[i][k] = tc
+			mk.ReqOK[k][i] = seatsOK && pc <= params.MaxPickup
+			mk.TaxiOK[i][k] = seatsOK && tc <= params.MaxNet
+		}
+	}
+	return mk, nil
+}

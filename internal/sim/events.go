@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"stabledispatch/internal/geo"
+)
+
+// EventKind labels one simulator event.
+type EventKind string
+
+// Event kinds emitted by the engine, in lifecycle order.
+const (
+	EventRequest EventKind = "request" // a request entered the pending queue
+	EventAssign  EventKind = "assign"  // a taxi was dispatched
+	EventPickup  EventKind = "pickup"  // the passenger boarded
+	EventDropoff EventKind = "dropoff" // the passenger alighted
+	EventAbandon EventKind = "abandon" // the passenger gave up waiting
+)
+
+// Event is one step of a request's lifecycle, suitable for JSONL replay
+// and visualisation tooling.
+type Event struct {
+	Frame     int       `json:"frame"`
+	Kind      EventKind `json:"kind"`
+	RequestID int       `json:"requestId"`
+	// TaxiID is set from assignment onward (-1 before).
+	TaxiID int `json:"taxiId"`
+	// Pos is where the event happened: the pickup location for request
+	// and assign events, the taxi's stop position for pickup/dropoff.
+	Pos geo.Point `json:"pos"`
+}
+
+// EventSink receives engine events as they happen. Record is called
+// synchronously from Step, so implementations should be fast; the
+// JSONL writer below buffers through the provided io.Writer.
+type EventSink interface {
+	Record(Event)
+}
+
+// EventSinkFunc adapts a function to the EventSink interface.
+type EventSinkFunc func(Event)
+
+// Record implements EventSink.
+func (f EventSinkFunc) Record(e Event) { f(e) }
+
+var _ EventSink = EventSinkFunc(nil)
+
+// JSONLSink streams events as JSON lines. Errors are sticky: the first
+// write failure is kept and reported by Err, and later events are
+// dropped — a broken sink must not take the simulation down.
+type JSONLSink struct {
+	enc *json.Encoder
+	err error
+}
+
+var _ EventSink = (*JSONLSink)(nil)
+
+// NewJSONLSink returns a sink writing one JSON object per line to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Record implements EventSink.
+func (s *JSONLSink) Record(e Event) {
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(e); err != nil {
+		s.err = fmt.Errorf("sim: event sink: %w", err)
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error { return s.err }
+
+// ReadJSONL parses a JSONL event stream back into events (the inverse of
+// JSONLSink, for replay tooling and tests).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("sim: read events: %w", err)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// emit forwards an event to the configured sink, if any.
+func (s *Simulator) emit(e Event) {
+	if s.cfg.Events != nil {
+		s.cfg.Events.Record(e)
+	}
+}

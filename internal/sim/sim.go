@@ -1,0 +1,707 @@
+// Package sim is the discrete-time fleet simulator the paper's
+// evaluation runs on: time is cut into one-minute frames, idle taxis are
+// dispatched to the pending passenger requests of the current frame by a
+// pluggable Dispatcher, and taxis drive their routes at a fixed speed
+// (20 km/h in the paper, following [24]).
+//
+// The engine records the paper's three evaluation metrics as it runs:
+// dispatch delay (frames from request arrival to assignment), passenger
+// dissatisfaction, and taxi dissatisfaction, using the §IV-A/§V-A
+// formulas uniformly for every dispatcher.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/geo"
+	"stabledispatch/internal/pref"
+)
+
+// Dispatcher produces assignments for one frame. Implementations live in
+// internal/dispatch (the paper's algorithms and non-sharing baselines)
+// and internal/carpool (sharing baselines).
+type Dispatcher interface {
+	// Name identifies the algorithm in reports ("NSTD-P", "Greedy", …).
+	Name() string
+	// Dispatch inspects the frame and returns the assignments to apply.
+	// Returning a request or taxi not present in the frame is an error.
+	Dispatch(f *Frame) ([]fleet.Assignment, error)
+}
+
+// Frame is the dispatcher's read-only view of one time step.
+type Frame struct {
+	// Number is the current frame index (minutes since simulation
+	// start).
+	Number int
+	// Requests are the pending, unassigned requests in arrival order.
+	Requests []fleet.Request
+	// Taxis holds the runtime state of every taxi in the fleet.
+	Taxis []TaxiView
+	// Metric measures travel distances.
+	Metric geo.Metric
+	// Params are the interest-model coefficients in force.
+	Params pref.Params
+}
+
+// IdleTaxis returns the idle subset of the fleet, preserving order.
+func (f *Frame) IdleTaxis() []TaxiView {
+	var idle []TaxiView
+	for _, t := range f.Taxis {
+		if t.Idle {
+			idle = append(idle, t)
+		}
+	}
+	return idle
+}
+
+// TaxiView is the dispatcher-visible state of one taxi.
+type TaxiView struct {
+	ID    int
+	Pos   geo.Point
+	Seats int
+	Idle  bool
+	// Load is the number of seats currently occupied.
+	Load int
+	// Offline reports an injected outage: the taxi accepts no new
+	// assignments this frame. Offline taxis are never Idle.
+	Offline bool
+	// Route is a copy of the taxi's remaining stop sequence.
+	Route []fleet.Stop
+	// Onboard lists request IDs currently riding.
+	Onboard []int
+	// Assigned lists request IDs assigned but not yet picked up.
+	Assigned []int
+	// SeatsByRequest maps every request on the route (onboard or
+	// assigned) to its seat count, so dispatchers can compute load
+	// profiles for insertions.
+	SeatsByRequest map[int]int
+}
+
+// Capacity returns the taxi's seat capacity (default 4).
+func (v TaxiView) Capacity() int {
+	if v.Seats < 1 {
+		return 4
+	}
+	return v.Seats
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Metric measures all distances. Defaults to geo.EuclidMetric.
+	Metric geo.Metric
+	// SpeedKmH is the taxi cruising speed; the paper uses 20 km/h.
+	SpeedKmH float64
+	// FrameMinutes is the batching interval; the paper uses 1 minute.
+	FrameMinutes float64
+	// Params are the interest-model coefficients used for metric
+	// reporting (and by dispatchers that read them off the frame).
+	Params pref.Params
+	// Dispatcher decides the assignments.
+	Dispatcher Dispatcher
+	// DrainFrames bounds how long the engine keeps running after the
+	// last request arrives, waiting for pending requests and routes to
+	// finish. Defaults to 240 frames.
+	DrainFrames int
+	// PatienceFrames, when positive, is how long a passenger waits for
+	// a dispatch before abandoning the request. Zero means passengers
+	// wait forever (the paper's setting); the experiment harness uses a
+	// finite patience both as a realistic churn model and to bound the
+	// pending queue when stable dispatchers refuse unservable requests.
+	PatienceFrames int
+	// Outages injects taxi failures: during an outage window the taxi
+	// accepts no new work (a busy taxi still finishes its current
+	// route — the driver completes the fare, then goes dark).
+	Outages []Outage
+	// Events, when non-nil, receives every lifecycle event (request,
+	// assign, pickup, dropoff, abandon) as it happens.
+	Events EventSink
+}
+
+// Outage takes one taxi out of service for the frame interval
+// [From, To).
+type Outage struct {
+	TaxiID int
+	From   int
+	To     int
+}
+
+// active reports whether the outage covers the frame.
+func (o Outage) active(frame int) bool {
+	return frame >= o.From && frame < o.To
+}
+
+func (c *Config) applyDefaults() {
+	if c.Metric == nil {
+		c.Metric = geo.EuclidMetric
+	}
+	if c.SpeedKmH <= 0 {
+		c.SpeedKmH = 20
+	}
+	if c.FrameMinutes <= 0 {
+		c.FrameMinutes = 1
+	}
+	if c.DrainFrames <= 0 {
+		c.DrainFrames = 240
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Dispatcher == nil {
+		return fmt.Errorf("sim: config requires a dispatcher")
+	}
+	if err := c.Params.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
+// taxiState is the engine-internal mutable state of one taxi.
+type taxiState struct {
+	taxi    fleet.Taxi
+	pos     geo.Point
+	route   []fleet.Stop
+	onboard map[int]bool
+	pending map[int]bool // assigned, not yet picked up
+
+	// Episode bookkeeping: an episode spans idle→busy→idle and carries
+	// the taxi-dissatisfaction metric.
+	episodeActive  bool
+	episodeStart   int
+	episodeDriven  float64 // distance driven since the episode began
+	episodeTripSum float64 // Σ solo trip distances of episode requests
+	episodeReqs    []int
+}
+
+func (t *taxiState) idle() bool { return len(t.route) == 0 }
+
+func (t *taxiState) load(reqs map[int]*requestState) int {
+	load := 0
+	for id := range t.onboard {
+		load += reqs[id].req.SeatCount()
+	}
+	return load
+}
+
+// requestState tracks one request through its lifecycle.
+type requestState struct {
+	req           fleet.Request
+	assignFrame   int
+	pickupFrame   int
+	dropoffFrame  int
+	taxiID        int
+	passengerDiss float64
+	assigned      bool
+	pickedUp      bool
+	done          bool
+	abandoned     bool
+}
+
+// Simulator runs a trace of requests against a fleet.
+type Simulator struct {
+	cfg     Config
+	frame   int
+	arrival []fleet.Request // all requests sorted by arrival frame
+	nextArr int             // index of the next unreleased arrival
+	pending []int           // request IDs awaiting assignment
+	reqs    map[int]*requestState
+	taxis   []*taxiState
+	byID    map[int]*taxiState
+
+	assignments []AssignmentOutcome
+	episodes    []EpisodeOutcome
+}
+
+// New builds a simulator over the given fleet and request trace. Request
+// IDs must be unique; taxi IDs must be unique.
+func New(cfg Config, taxis []fleet.Taxi, requests []fleet.Request) (*Simulator, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:  cfg,
+		reqs: make(map[int]*requestState, len(requests)),
+		byID: make(map[int]*taxiState, len(taxis)),
+	}
+	s.arrival = append(s.arrival, requests...)
+	sort.SliceStable(s.arrival, func(a, b int) bool {
+		return s.arrival[a].Frame < s.arrival[b].Frame
+	})
+	for _, r := range s.arrival {
+		if _, dup := s.reqs[r.ID]; dup {
+			return nil, fmt.Errorf("sim: duplicate request ID %d", r.ID)
+		}
+		s.reqs[r.ID] = &requestState{
+			req:          r,
+			assignFrame:  -1,
+			pickupFrame:  -1,
+			dropoffFrame: -1,
+			taxiID:       -1,
+		}
+	}
+	for _, t := range taxis {
+		if _, dup := s.byID[t.ID]; dup {
+			return nil, fmt.Errorf("sim: duplicate taxi ID %d", t.ID)
+		}
+		st := &taxiState{
+			taxi:    t,
+			pos:     t.Pos,
+			onboard: make(map[int]bool),
+			pending: make(map[int]bool),
+		}
+		s.taxis = append(s.taxis, st)
+		s.byID[t.ID] = st
+	}
+	return s, nil
+}
+
+// Frame returns the current frame number.
+func (s *Simulator) Frame() int { return s.frame }
+
+// Inject adds a request to a running simulation; the dispatch daemon
+// uses this to feed live requests in. Requests dated before the current
+// frame are released immediately. The ID must be new.
+func (s *Simulator) Inject(r fleet.Request) error {
+	if _, dup := s.reqs[r.ID]; dup {
+		return fmt.Errorf("sim: duplicate request ID %d", r.ID)
+	}
+	if r.Frame < s.frame {
+		r.Frame = s.frame
+	}
+	s.reqs[r.ID] = &requestState{
+		req:          r,
+		assignFrame:  -1,
+		pickupFrame:  -1,
+		dropoffFrame: -1,
+		taxiID:       -1,
+	}
+	// Keep the unreleased tail of the arrival stream sorted.
+	pos := s.nextArr
+	for pos < len(s.arrival) && s.arrival[pos].Frame <= r.Frame {
+		pos++
+	}
+	s.arrival = append(s.arrival, fleet.Request{})
+	copy(s.arrival[pos+1:], s.arrival[pos:])
+	s.arrival[pos] = r
+	return nil
+}
+
+// Snapshot builds a report of everything observed so far without ending
+// the run. Episodes still in progress are not included.
+func (s *Simulator) Snapshot() *Report { return s.buildReport() }
+
+// TaxiViews returns the current dispatcher-visible state of the fleet.
+func (s *Simulator) TaxiViews() []TaxiView { return s.view().Taxis }
+
+// Done reports whether the simulation has nothing left to do: all
+// arrivals released, no pending requests, and all taxis idle.
+func (s *Simulator) Done() bool {
+	if s.nextArr < len(s.arrival) || len(s.pending) > 0 {
+		return false
+	}
+	for _, t := range s.taxis {
+		if !t.idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the simulation one frame: release arrivals, expire
+// impatient requests, dispatch, then move taxis.
+func (s *Simulator) Step() error {
+	s.releaseArrivals()
+	s.expireImpatient()
+	if err := s.dispatch(); err != nil {
+		return err
+	}
+	s.moveTaxis()
+	s.frame++
+	return nil
+}
+
+// offline reports whether the taxi has an active injected outage.
+func (s *Simulator) offline(taxiID int) bool {
+	for _, o := range s.cfg.Outages {
+		if o.TaxiID == taxiID && o.active(s.frame) {
+			return true
+		}
+	}
+	return false
+}
+
+// expireImpatient drops pending requests older than the patience bound.
+func (s *Simulator) expireImpatient() {
+	if s.cfg.PatienceFrames <= 0 {
+		return
+	}
+	kept := s.pending[:0]
+	for _, id := range s.pending {
+		rs := s.reqs[id]
+		if s.frame-rs.req.Frame >= s.cfg.PatienceFrames {
+			rs.abandoned = true
+			s.emit(Event{Frame: s.frame, Kind: EventAbandon, RequestID: id, TaxiID: -1, Pos: rs.req.Pickup})
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.pending = kept
+}
+
+// Run steps the simulation until done (plus the drain bound) and returns
+// the report. Requests still pending when the drain budget runs out are
+// reported as unserved.
+func (s *Simulator) Run() (*Report, error) {
+	lastArrival := 0
+	if n := len(s.arrival); n > 0 {
+		lastArrival = s.arrival[n-1].Frame
+	}
+	deadline := lastArrival + s.cfg.DrainFrames
+	for !s.Done() && s.frame <= deadline {
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range s.pending {
+		s.reqs[id].abandoned = true
+	}
+	// Close any still-open episodes at the deadline.
+	for _, t := range s.taxis {
+		if t.episodeActive {
+			s.closeEpisode(t)
+		}
+	}
+	return s.buildReport(), nil
+}
+
+func (s *Simulator) releaseArrivals() {
+	for s.nextArr < len(s.arrival) && s.arrival[s.nextArr].Frame <= s.frame {
+		r := s.arrival[s.nextArr]
+		s.pending = append(s.pending, r.ID)
+		s.nextArr++
+		s.emit(Event{Frame: s.frame, Kind: EventRequest, RequestID: r.ID, TaxiID: -1, Pos: r.Pickup})
+	}
+}
+
+func (s *Simulator) view() *Frame {
+	f := &Frame{
+		Number: s.frame,
+		Metric: s.cfg.Metric,
+		Params: s.cfg.Params,
+	}
+	for _, id := range s.pending {
+		f.Requests = append(f.Requests, s.reqs[id].req)
+	}
+	for _, t := range s.taxis {
+		offline := s.offline(t.taxi.ID)
+		v := TaxiView{
+			ID:      t.taxi.ID,
+			Pos:     t.pos,
+			Seats:   t.taxi.Seats,
+			Idle:    t.idle() && !offline,
+			Offline: offline,
+			Load:    t.load(s.reqs),
+			Route:   append([]fleet.Stop(nil), t.route...),
+		}
+		v.SeatsByRequest = make(map[int]int, len(t.onboard)+len(t.pending))
+		for id := range t.onboard {
+			v.Onboard = append(v.Onboard, id)
+			v.SeatsByRequest[id] = s.reqs[id].req.SeatCount()
+		}
+		for id := range t.pending {
+			v.Assigned = append(v.Assigned, id)
+			v.SeatsByRequest[id] = s.reqs[id].req.SeatCount()
+		}
+		sort.Ints(v.Onboard)
+		sort.Ints(v.Assigned)
+		f.Taxis = append(f.Taxis, v)
+	}
+	return f
+}
+
+func (s *Simulator) dispatch() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	frame := s.view()
+	assignments, err := s.cfg.Dispatcher.Dispatch(frame)
+	if err != nil {
+		return fmt.Errorf("sim: dispatcher %s frame %d: %w", s.cfg.Dispatcher.Name(), s.frame, err)
+	}
+	seenTaxi := make(map[int]bool, len(assignments))
+	for _, a := range assignments {
+		if err := s.apply(a, seenTaxi); err != nil {
+			return fmt.Errorf("sim: dispatcher %s frame %d: %w", s.cfg.Dispatcher.Name(), s.frame, err)
+		}
+	}
+	return nil
+}
+
+// apply validates and installs one assignment.
+func (s *Simulator) apply(a fleet.Assignment, seenTaxi map[int]bool) error {
+	t, ok := s.byID[a.TaxiID]
+	if !ok {
+		return fmt.Errorf("assignment names unknown taxi %d", a.TaxiID)
+	}
+	if s.offline(a.TaxiID) {
+		return fmt.Errorf("taxi %d is offline (injected outage)", a.TaxiID)
+	}
+	if seenTaxi[a.TaxiID] {
+		return fmt.Errorf("taxi %d assigned twice in one frame", a.TaxiID)
+	}
+	seenTaxi[a.TaxiID] = true
+	if len(a.Requests) == 0 {
+		return fmt.Errorf("taxi %d assignment has no requests", a.TaxiID)
+	}
+
+	// Every named request must be pending.
+	newReqs := make([]*requestState, 0, len(a.Requests))
+	for _, id := range a.Requests {
+		rs, ok := s.reqs[id]
+		if !ok {
+			return fmt.Errorf("assignment names unknown request %d", id)
+		}
+		if rs.assigned || rs.done {
+			return fmt.Errorf("request %d is not pending", id)
+		}
+		newReqs = append(newReqs, rs)
+	}
+	if err := s.checkRoute(t, a); err != nil {
+		return err
+	}
+
+	// Taxi dissatisfaction, recorded per dispatch decision: the added
+	// driving minus (α+1) times the added paid trips. For a dispatch
+	// from idle this is exactly the paper's formulas — D(t, r^s) −
+	// α·D(r^s, r^d) for a solo ride, D_ck(t) − (α+1)·Σ D(r^s, r^d) for
+	// a shared group; for an insertion into a busy taxi it is the
+	// marginal equivalent.
+	oldLen := fleet.RouteLength(t.pos, t.route, s.cfg.Metric)
+	newLen := fleet.RouteLength(t.pos, a.Route, s.cfg.Metric)
+	newTrips := 0.0
+	for _, rs := range newReqs {
+		newTrips += rs.req.TripDistance(s.cfg.Metric)
+	}
+	s.assignments = append(s.assignments, AssignmentOutcome{
+		TaxiID:          a.TaxiID,
+		Frame:           s.frame,
+		Requests:        len(newReqs),
+		Shared:          len(newReqs) > 1 || len(t.onboard)+len(t.pending) > 0,
+		Dissatisfaction: newLen - oldLen - (s.cfg.Params.Alpha+1)*newTrips,
+	})
+
+	// Install the new route.
+	wasIdle := t.idle()
+	t.route = append([]fleet.Stop(nil), a.Route...)
+	for _, rs := range newReqs {
+		rs.assigned = true
+		rs.assignFrame = s.frame
+		rs.taxiID = a.TaxiID
+		rs.passengerDiss = s.passengerDiss(t, a, rs)
+		t.pending[rs.req.ID] = true
+		s.removePending(rs.req.ID)
+		s.emit(Event{Frame: s.frame, Kind: EventAssign, RequestID: rs.req.ID, TaxiID: a.TaxiID, Pos: rs.req.Pickup})
+	}
+
+	// Episode bookkeeping.
+	if wasIdle {
+		t.episodeActive = true
+		t.episodeStart = s.frame
+		t.episodeDriven = 0
+		t.episodeTripSum = 0
+		t.episodeReqs = nil
+	}
+	for _, rs := range newReqs {
+		t.episodeTripSum += rs.req.TripDistance(s.cfg.Metric)
+		t.episodeReqs = append(t.episodeReqs, rs.req.ID)
+	}
+	return nil
+}
+
+// checkRoute verifies the proposed route serves exactly the taxi's
+// onboard requests (drop-offs only), its already-assigned pickups, and
+// the newly assigned requests, with pickups preceding drop-offs and the
+// load never exceeding capacity.
+func (s *Simulator) checkRoute(t *taxiState, a fleet.Assignment) error {
+	expectPickup := make(map[int]bool)
+	expectDrop := make(map[int]bool)
+	for id := range t.onboard {
+		expectDrop[id] = true
+	}
+	for id := range t.pending {
+		expectPickup[id] = true
+		expectDrop[id] = true
+	}
+	for _, id := range a.Requests {
+		expectPickup[id] = true
+		expectDrop[id] = true
+	}
+
+	load := t.load(s.reqs)
+	maxLoad := load
+	seenPickup := make(map[int]bool)
+	seenDrop := make(map[int]bool)
+	for _, stop := range a.Route {
+		rs, ok := s.reqs[stop.RequestID]
+		if !ok {
+			return fmt.Errorf("route visits unknown request %d", stop.RequestID)
+		}
+		switch stop.Kind {
+		case fleet.StopPickup:
+			if !expectPickup[stop.RequestID] || seenPickup[stop.RequestID] {
+				return fmt.Errorf("route has unexpected pickup for request %d", stop.RequestID)
+			}
+			seenPickup[stop.RequestID] = true
+			load += rs.req.SeatCount()
+			if load > maxLoad {
+				maxLoad = load
+			}
+		case fleet.StopDropoff:
+			if !expectDrop[stop.RequestID] || seenDrop[stop.RequestID] {
+				return fmt.Errorf("route has unexpected drop-off for request %d", stop.RequestID)
+			}
+			if expectPickup[stop.RequestID] && !seenPickup[stop.RequestID] {
+				return fmt.Errorf("route drops request %d before pickup", stop.RequestID)
+			}
+			seenDrop[stop.RequestID] = true
+			load -= rs.req.SeatCount()
+		default:
+			return fmt.Errorf("route stop has invalid kind %v", stop.Kind)
+		}
+	}
+	for id := range expectPickup {
+		if !seenPickup[id] {
+			return fmt.Errorf("route misses pickup of request %d", id)
+		}
+	}
+	for id := range expectDrop {
+		if !seenDrop[id] {
+			return fmt.Errorf("route misses drop-off of request %d", id)
+		}
+	}
+	if maxLoad > t.taxi.Capacity() {
+		return fmt.Errorf("route load %d exceeds taxi %d capacity %d", maxLoad, t.taxi.ID, t.taxi.Capacity())
+	}
+	return nil
+}
+
+// passengerDiss computes the paper's passenger-dissatisfaction metric for
+// a newly assigned request from the taxi's current position along the new
+// route: D_ck(t, r^s) + β·[D_ck(r^s, r^d) − D(r^s, r^d)]. For a solo ride
+// this is exactly D(t, r^s).
+func (s *Simulator) passengerDiss(t *taxiState, a fleet.Assignment, rs *requestState) float64 {
+	dist := 0.0
+	cur := t.pos
+	var toPickup, onBoard float64
+	picked := false
+	for _, stop := range a.Route {
+		dist += s.cfg.Metric.Distance(cur, stop.Pos)
+		cur = stop.Pos
+		if stop.RequestID != rs.req.ID {
+			continue
+		}
+		if stop.Kind == fleet.StopPickup {
+			toPickup = dist
+			picked = true
+		} else if picked {
+			onBoard = dist - toPickup
+		}
+	}
+	solo := rs.req.TripDistance(s.cfg.Metric)
+	return toPickup + s.cfg.Params.Beta*(onBoard-solo)
+}
+
+func (s *Simulator) removePending(id int) {
+	for i, p := range s.pending {
+		if p == id {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// moveTaxis advances every busy taxi along its route by one frame's
+// driving budget, executing pickups and drop-offs it reaches.
+func (s *Simulator) moveTaxis() {
+	budget := s.cfg.SpeedKmH * s.cfg.FrameMinutes / 60
+	for _, t := range s.taxis {
+		if t.idle() {
+			continue
+		}
+		remaining := budget
+		for remaining > 0 && len(t.route) > 0 {
+			target := t.route[0]
+			before := t.pos
+			next, leftover := geo.Toward(t.pos, target.Pos, remaining)
+			t.pos = next
+			t.episodeDriven += geo.Euclid(before, next)
+			remaining = leftover
+			if next != target.Pos {
+				break
+			}
+			// Arrived at the stop.
+			t.route = t.route[1:]
+			rs := s.reqs[target.RequestID]
+			if target.Kind == fleet.StopPickup {
+				delete(t.pending, target.RequestID)
+				t.onboard[target.RequestID] = true
+				rs.pickedUp = true
+				rs.pickupFrame = s.frame
+				s.emit(Event{Frame: s.frame, Kind: EventPickup, RequestID: target.RequestID, TaxiID: t.taxi.ID, Pos: target.Pos})
+			} else {
+				delete(t.onboard, target.RequestID)
+				rs.done = true
+				rs.dropoffFrame = s.frame
+				s.emit(Event{Frame: s.frame, Kind: EventDropoff, RequestID: target.RequestID, TaxiID: t.taxi.ID, Pos: target.Pos})
+			}
+		}
+		if t.idle() && t.episodeActive {
+			s.closeEpisode(t)
+		}
+	}
+}
+
+// closeEpisode finalises the taxi-dissatisfaction metric for a completed
+// busy period: D_ck(t) − (α+1)·Σ D(r^s, r^d) in the sharing model, which
+// reduces to D(t, r^s) − α·D(r^s, r^d) for a solo ride.
+func (s *Simulator) closeEpisode(t *taxiState) {
+	driven := t.episodeDriven
+	// Distance still to drive if the episode was cut off by the drain
+	// deadline.
+	driven += fleet.RouteLength(t.pos, t.route, s.cfg.Metric)
+	s.episodes = append(s.episodes, EpisodeOutcome{
+		TaxiID:          t.taxi.ID,
+		StartFrame:      t.episodeStart,
+		EndFrame:        s.frame,
+		Requests:        len(t.episodeReqs),
+		Dissatisfaction: driven - (s.cfg.Params.Alpha+1)*t.episodeTripSum,
+	})
+	t.episodeActive = false
+}
+
+func (s *Simulator) buildReport() *Report {
+	rep := &Report{
+		Algorithm:   s.cfg.Dispatcher.Name(),
+		Frames:      s.frame,
+		Episodes:    s.episodes,
+		Assignments: s.assignments,
+	}
+	for _, r := range s.arrival {
+		rs := s.reqs[r.ID]
+		rep.Requests = append(rep.Requests, RequestOutcome{
+			ID:            r.ID,
+			ArrivalFrame:  r.Frame,
+			AssignFrame:   rs.assignFrame,
+			PickupFrame:   rs.pickupFrame,
+			DropoffFrame:  rs.dropoffFrame,
+			TaxiID:        rs.taxiID,
+			PassengerDiss: rs.passengerDiss,
+			Served:        rs.assigned,
+			Abandoned:     rs.abandoned,
+		})
+	}
+	return rep
+}

@@ -1,0 +1,182 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"stabledispatch/internal/geo"
+)
+
+// KDTree is a static 2-d tree over a point set. It answers the same
+// queries as Index but is built once per batch (the natural pattern for
+// per-frame dispatch, where the fleet moves every frame anyway) and does
+// not degrade when points cluster into few cells.
+type KDTree struct {
+	nodes []kdNode
+	root  int
+}
+
+type kdNode struct {
+	id          int
+	p           geo.Point
+	left, right int // node indices, -1 for none
+	axis        uint8
+}
+
+// KDPoint is one input to NewKDTree.
+type KDPoint struct {
+	ID  int
+	Pos geo.Point
+}
+
+// NewKDTree builds a balanced tree over the points in O(n log² n).
+func NewKDTree(points []KDPoint) *KDTree {
+	t := &KDTree{nodes: make([]kdNode, 0, len(points)), root: -1}
+	pts := append([]KDPoint(nil), points...)
+	t.root = t.build(pts, 0)
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.nodes) }
+
+func (t *KDTree) build(pts []KDPoint, axis uint8) int {
+	if len(pts) == 0 {
+		return -1
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if axis == 0 {
+			return pts[a].Pos.X < pts[b].Pos.X
+		}
+		return pts[a].Pos.Y < pts[b].Pos.Y
+	})
+	mid := len(pts) / 2
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, kdNode{id: pts[mid].ID, p: pts[mid].Pos, axis: axis, left: -1, right: -1})
+	left := t.build(pts[:mid], 1-axis)
+	right := t.build(pts[mid+1:], 1-axis)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// Nearest returns the id and position of the point closest to q, or
+// ok=false for an empty tree.
+func (t *KDTree) Nearest(q geo.Point) (id int, pos geo.Point, ok bool) {
+	if t.root < 0 {
+		return 0, geo.Point{}, false
+	}
+	bestID, bestPos, bestDist := -1, geo.Point{}, math.Inf(1)
+	t.nearest(t.root, q, &bestID, &bestPos, &bestDist)
+	return bestID, bestPos, true
+}
+
+func (t *KDTree) nearest(ni int, q geo.Point, bestID *int, bestPos *geo.Point, bestDist *float64) {
+	if ni < 0 {
+		return
+	}
+	n := t.nodes[ni]
+	if d := geo.Euclid(q, n.p); d < *bestDist {
+		*bestDist, *bestID, *bestPos = d, n.id, n.p
+	}
+	delta := q.X - n.p.X
+	if n.axis == 1 {
+		delta = q.Y - n.p.Y
+	}
+	near, far := n.left, n.right
+	if delta > 0 {
+		near, far = n.right, n.left
+	}
+	t.nearest(near, q, bestID, bestPos, bestDist)
+	if math.Abs(delta) < *bestDist {
+		t.nearest(far, q, bestID, bestPos, bestDist)
+	}
+}
+
+// KNearest returns the ids of up to k points closest to q, ordered by
+// increasing distance.
+func (t *KDTree) KNearest(q geo.Point, k int) []int {
+	if k <= 0 || t.root < 0 {
+		return nil
+	}
+	// Max-heap of the best k candidates, via a small slice kept sorted
+	// descending by distance (k is small in dispatch workloads).
+	type cand struct {
+		id   int
+		dist float64
+	}
+	best := make([]cand, 0, k+1)
+	worst := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[0].dist
+	}
+	insert := func(id int, dist float64) {
+		best = append(best, cand{id: id, dist: dist})
+		sort.Slice(best, func(a, b int) bool { return best[a].dist > best[b].dist })
+		if len(best) > k {
+			best = best[1:]
+		}
+	}
+
+	var walk func(ni int)
+	walk = func(ni int) {
+		if ni < 0 {
+			return
+		}
+		n := t.nodes[ni]
+		if d := geo.Euclid(q, n.p); d < worst() {
+			insert(n.id, d)
+		}
+		delta := q.X - n.p.X
+		if n.axis == 1 {
+			delta = q.Y - n.p.Y
+		}
+		near, far := n.left, n.right
+		if delta > 0 {
+			near, far = n.right, n.left
+		}
+		walk(near)
+		if math.Abs(delta) < worst() {
+			walk(far)
+		}
+	}
+	walk(t.root)
+
+	out := make([]int, len(best))
+	for i := range best {
+		out[len(best)-1-i] = best[i].id // ascending by distance
+	}
+	return out
+}
+
+// WithinRadius returns the ids of all points within radius of q.
+func (t *KDTree) WithinRadius(q geo.Point, radius float64) []int {
+	if radius < 0 || t.root < 0 {
+		return nil
+	}
+	var out []int
+	var walk func(ni int)
+	walk = func(ni int) {
+		if ni < 0 {
+			return
+		}
+		n := t.nodes[ni]
+		if geo.Euclid(q, n.p) <= radius {
+			out = append(out, n.id)
+		}
+		delta := q.X - n.p.X
+		if n.axis == 1 {
+			delta = q.Y - n.p.Y
+		}
+		if delta <= radius {
+			walk(n.left)
+		}
+		if -delta <= radius {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return out
+}

@@ -1,0 +1,189 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stabledispatch/internal/geo"
+)
+
+func randomKDPoints(rng *rand.Rand, n int) []KDPoint {
+	pts := make([]KDPoint, n)
+	for i := range pts {
+		pts[i] = KDPoint{ID: i, Pos: geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}}
+	}
+	return pts
+}
+
+func TestKDTreeEmpty(t *testing.T) {
+	tree := NewKDTree(nil)
+	if tree.Len() != 0 {
+		t.Errorf("Len = %d", tree.Len())
+	}
+	if _, _, ok := tree.Nearest(geo.Point{}); ok {
+		t.Error("Nearest on empty tree: ok")
+	}
+	if got := tree.KNearest(geo.Point{}, 3); got != nil {
+		t.Errorf("KNearest = %v", got)
+	}
+	if got := tree.WithinRadius(geo.Point{}, 1); got != nil {
+		t.Errorf("WithinRadius = %v", got)
+	}
+}
+
+func TestKDTreeNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 40; trial++ {
+		pts := randomKDPoints(rng, 1+rng.Intn(80))
+		tree := NewKDTree(pts)
+		for q := 0; q < 20; q++ {
+			query := geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+			bestDist := math.Inf(1)
+			for _, p := range pts {
+				if d := geo.Euclid(query, p.Pos); d < bestDist {
+					bestDist = d
+				}
+			}
+			id, pos, ok := tree.Nearest(query)
+			if !ok {
+				t.Fatal("Nearest !ok on non-empty tree")
+			}
+			if math.Abs(geo.Euclid(query, pos)-bestDist) > 1e-12 {
+				t.Fatalf("trial %d: Nearest id %d dist %v, brute %v",
+					trial, id, geo.Euclid(query, pos), bestDist)
+			}
+		}
+	}
+}
+
+func TestKDTreeKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 30; trial++ {
+		pts := randomKDPoints(rng, 1+rng.Intn(60))
+		tree := NewKDTree(pts)
+		query := geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		k := 1 + rng.Intn(10)
+
+		got := tree.KNearest(query, k)
+
+		order := make([]int, len(pts))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return geo.Euclid(query, pts[order[a]].Pos) < geo.Euclid(query, pts[order[b]].Pos)
+		})
+		wantLen := k
+		if len(pts) < k {
+			wantLen = len(pts)
+		}
+		if len(got) != wantLen {
+			t.Fatalf("trial %d: KNearest len %d, want %d", trial, len(got), wantLen)
+		}
+		for i, id := range got {
+			wantDist := geo.Euclid(query, pts[order[i]].Pos)
+			gotDist := geo.Euclid(query, pts[id].Pos)
+			if math.Abs(gotDist-wantDist) > 1e-12 {
+				t.Fatalf("trial %d: rank %d dist %v, want %v", trial, i, gotDist, wantDist)
+			}
+		}
+	}
+}
+
+func TestKDTreeWithinRadiusMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		pts := randomKDPoints(rng, rng.Intn(80))
+		tree := NewKDTree(pts)
+		query := geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		radius := rng.Float64() * 8
+
+		got := tree.WithinRadius(query, radius)
+		gotSet := make(map[int]bool, len(got))
+		for _, id := range got {
+			gotSet[id] = true
+		}
+		for _, p := range pts {
+			want := geo.Euclid(query, p.Pos) <= radius
+			if gotSet[p.ID] != want {
+				t.Fatalf("trial %d: id %d in-radius = %v, want %v", trial, p.ID, gotSet[p.ID], want)
+			}
+		}
+	}
+}
+
+func TestKDTreeAgreesWithGridIndex(t *testing.T) {
+	// The two spatial indexes must return identical nearest distances.
+	rng := rand.New(rand.NewSource(54))
+	pts := randomKDPoints(rng, 120)
+	tree := NewKDTree(pts)
+	grid := NewIndex(geo.NewRect(geo.Point{}, geo.Point{X: 20, Y: 20}), 2)
+	for _, p := range pts {
+		grid.Insert(p.ID, p.Pos)
+	}
+	for q := 0; q < 100; q++ {
+		query := geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		_, kdPos, ok1 := tree.Nearest(query)
+		_, gridPos, ok2 := grid.Nearest(query)
+		if !ok1 || !ok2 {
+			t.Fatal("index returned !ok")
+		}
+		d1, d2 := geo.Euclid(query, kdPos), geo.Euclid(query, gridPos)
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("kd %v vs grid %v at query %v", d1, d2, query)
+		}
+	}
+}
+
+func TestKDTreeDuplicatePositions(t *testing.T) {
+	pts := []KDPoint{
+		{ID: 0, Pos: geo.Point{X: 1, Y: 1}},
+		{ID: 1, Pos: geo.Point{X: 1, Y: 1}},
+		{ID: 2, Pos: geo.Point{X: 5, Y: 5}},
+	}
+	tree := NewKDTree(pts)
+	ids := tree.KNearest(geo.Point{X: 1, Y: 1}, 2)
+	if len(ids) != 2 {
+		t.Fatalf("KNearest = %v", ids)
+	}
+	for _, id := range ids {
+		if id == 2 {
+			t.Errorf("far point ranked above duplicates: %v", ids)
+		}
+	}
+}
+
+func BenchmarkSpatialIndexes(b *testing.B) {
+	rng := rand.New(rand.NewSource(55))
+	for _, n := range []int{100, 700} {
+		pts := randomKDPoints(rng, n)
+		queries := make([]geo.Point, 256)
+		for i := range queries {
+			queries[i] = geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		}
+		b.Run(fmt.Sprintf("kdtree/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tree := NewKDTree(pts)
+				for _, q := range queries {
+					tree.Nearest(q)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("grid/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				grid := NewIndex(geo.NewRect(geo.Point{}, geo.Point{X: 20, Y: 20}), 1)
+				for _, p := range pts {
+					grid.Insert(p.ID, p.Pos)
+				}
+				for _, q := range queries {
+					grid.Nearest(q)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stabledispatch/internal/geo"
+)
+
+func cityBounds() geo.Rect {
+	return geo.NewRect(geo.Point{}, geo.Point{X: 20, Y: 20})
+}
+
+func TestInsertRemove(t *testing.T) {
+	ix := NewIndex(cityBounds(), 2)
+	p := geo.Point{X: 3, Y: 4}
+	ix.Insert(7, p)
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ix.Len())
+	}
+	if !ix.Remove(7, p) {
+		t.Fatal("Remove = false, want true")
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len after remove = %d, want 0", ix.Len())
+	}
+	if ix.Remove(7, p) {
+		t.Fatal("second Remove = true, want false")
+	}
+}
+
+func TestNearestEmpty(t *testing.T) {
+	ix := NewIndex(cityBounds(), 2)
+	if _, _, ok := ix.Nearest(geo.Point{X: 1, Y: 1}); ok {
+		t.Error("Nearest on empty index: ok = true, want false")
+	}
+	if ids := ix.KNearest(geo.Point{}, 3); ids != nil {
+		t.Errorf("KNearest on empty index = %v, want nil", ids)
+	}
+	if ids := ix.WithinRadius(geo.Point{}, 5); ids != nil {
+		t.Errorf("WithinRadius on empty index = %v, want nil", ids)
+	}
+}
+
+func TestNearestSimple(t *testing.T) {
+	ix := NewIndex(cityBounds(), 2)
+	ix.Insert(1, geo.Point{X: 1, Y: 1})
+	ix.Insert(2, geo.Point{X: 10, Y: 10})
+	ix.Insert(3, geo.Point{X: 19, Y: 19})
+
+	id, pos, ok := ix.Nearest(geo.Point{X: 9, Y: 9})
+	if !ok || id != 2 {
+		t.Errorf("Nearest = (%d, %v, %v), want id 2", id, pos, ok)
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		ix := NewIndex(cityBounds(), 1.5)
+		n := 1 + rng.Intn(60)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+			ix.Insert(i, pts[i])
+		}
+		for q := 0; q < 20; q++ {
+			query := geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+			bestID, bestDist := -1, math.Inf(1)
+			for i, p := range pts {
+				if d := geo.Euclid(query, p); d < bestDist {
+					bestID, bestDist = i, d
+				}
+			}
+			gotID, _, ok := ix.Nearest(query)
+			if !ok {
+				t.Fatalf("trial %d: Nearest returned !ok with %d points", trial, n)
+			}
+			gotDist := geo.Euclid(query, pts[gotID])
+			if math.Abs(gotDist-bestDist) > 1e-9 {
+				t.Fatalf("trial %d: Nearest dist %v, brute force %v (ids %d vs %d)",
+					trial, gotDist, bestDist, gotID, bestID)
+			}
+		}
+	}
+}
+
+func TestKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		ix := NewIndex(cityBounds(), 2)
+		n := 1 + rng.Intn(50)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+			ix.Insert(i, pts[i])
+		}
+		for q := 0; q < 10; q++ {
+			query := geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+			k := 1 + rng.Intn(8)
+
+			got := ix.KNearest(query, k)
+
+			order := make([]int, n)
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool {
+				return geo.Euclid(query, pts[order[a]]) < geo.Euclid(query, pts[order[b]])
+			})
+			wantLen := k
+			if n < k {
+				wantLen = n
+			}
+			if len(got) != wantLen {
+				t.Fatalf("KNearest returned %d ids, want %d", len(got), wantLen)
+			}
+			for i, id := range got {
+				wantDist := geo.Euclid(query, pts[order[i]])
+				gotDist := geo.Euclid(query, pts[id])
+				if math.Abs(gotDist-wantDist) > 1e-9 {
+					t.Fatalf("trial %d: rank %d dist %v, want %v", trial, i, gotDist, wantDist)
+				}
+			}
+		}
+	}
+}
+
+func TestWithinRadiusMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		ix := NewIndex(cityBounds(), 2.5)
+		n := rng.Intn(60)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+			ix.Insert(i, pts[i])
+		}
+		query := geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		radius := rng.Float64() * 8
+
+		got := ix.WithinRadius(query, radius)
+		gotSet := make(map[int]bool, len(got))
+		for _, id := range got {
+			gotSet[id] = true
+		}
+		for i, p := range pts {
+			want := geo.Euclid(query, p) <= radius
+			if gotSet[i] != want {
+				t.Fatalf("trial %d: id %d in-radius = %v, want %v", trial, i, gotSet[i], want)
+			}
+		}
+	}
+}
+
+func TestMove(t *testing.T) {
+	ix := NewIndex(cityBounds(), 2)
+	from := geo.Point{X: 1, Y: 1}
+	to := geo.Point{X: 15, Y: 15}
+	ix.Insert(1, from)
+	ix.Move(1, from, to)
+
+	id, pos, ok := ix.Nearest(geo.Point{X: 14, Y: 14})
+	if !ok || id != 1 || pos != to {
+		t.Errorf("after Move, Nearest = (%d, %v, %v)", id, pos, ok)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d, want 1", ix.Len())
+	}
+}
+
+func TestOutOfBoundsPointsAreClamped(t *testing.T) {
+	ix := NewIndex(cityBounds(), 2)
+	outside := geo.Point{X: -50, Y: 300}
+	ix.Insert(1, outside)
+	id, _, ok := ix.Nearest(geo.Point{X: 0, Y: 20})
+	if !ok || id != 1 {
+		t.Errorf("Nearest = (%d, %v), want id 1 found", id, ok)
+	}
+	if !ix.Remove(1, outside) {
+		t.Error("Remove of out-of-bounds point failed")
+	}
+}
+
+func TestManyPointsSameCell(t *testing.T) {
+	ix := NewIndex(cityBounds(), 10)
+	for i := 0; i < 100; i++ {
+		ix.Insert(i, geo.Point{X: 1 + float64(i)*0.01, Y: 1})
+	}
+	ids := ix.KNearest(geo.Point{X: 1, Y: 1}, 5)
+	want := []int{0, 1, 2, 3, 4}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("KNearest = %v, want %v", ids, want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package stable
+
+import (
+	"fmt"
+
+	"stabledispatch/internal/pref"
+)
+
+// BruteForceAll enumerates every stable matching by exhaustively trying
+// all partial matchings and filtering with IsStable. It exists to
+// validate Algorithms 1 and 2 on small instances (tests, diagnostics);
+// its running time is factorial, so it refuses markets with more than
+// maxRequests requests.
+func BruteForceAll(mk *pref.Market, maxRequests int) ([]Matching, error) {
+	r, t := mk.NumRequests(), mk.NumTaxis()
+	if r > maxRequests {
+		return nil, fmt.Errorf("stable: brute force limited to %d requests, got %d", maxRequests, r)
+	}
+	var results []Matching
+	m := NewMatching(r, t)
+
+	var rec func(j int)
+	rec = func(j int) {
+		if j == r {
+			if IsStable(mk, m) == nil {
+				results = append(results, m.Clone())
+			}
+			return
+		}
+		// Option 1: request j stays with its dummy.
+		rec(j + 1)
+		// Option 2: request j takes any free, mutually acceptable taxi.
+		for i := 0; i < t; i++ {
+			if m.TaxiPartner[i] != Unmatched || !mk.MutualOK(j, i) {
+				continue
+			}
+			m.ReqPartner[j] = i
+			m.TaxiPartner[i] = j
+			rec(j + 1)
+			m.ReqPartner[j] = Unmatched
+			m.TaxiPartner[i] = Unmatched
+		}
+	}
+	rec(0)
+	return results, nil
+}

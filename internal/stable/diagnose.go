@@ -1,0 +1,74 @@
+package stable
+
+import (
+	"fmt"
+
+	"stabledispatch/internal/pref"
+)
+
+// BlockingPair is one stability violation: a request and taxi that both
+// prefer each other over their partners in the matching.
+type BlockingPair struct {
+	Request int
+	Taxi    int
+	// ReqPartner and TaxiPartner are the violating parties' current
+	// partners (Unmatched for a dummy).
+	ReqPartner  int
+	TaxiPartner int
+}
+
+// String implements fmt.Stringer.
+func (b BlockingPair) String() string {
+	return fmt.Sprintf("(r%d, t%d) blocks: r%d has %s, t%d has %s",
+		b.Request, b.Taxi,
+		b.Request, partnerName(b.ReqPartner, "t"),
+		b.Taxi, partnerName(b.TaxiPartner, "r"))
+}
+
+func partnerName(p int, side string) string {
+	if p == Unmatched {
+		return "dummy"
+	}
+	return fmt.Sprintf("%s%d", side, p)
+}
+
+// BlockingPairs returns every stability violation of the matching, in
+// (request, taxi) index order — the full diagnostic behind IsStable,
+// which stops at the first. Individually irrational pairings (someone
+// matched behind their dummy) are reported as a pair blocking with the
+// dummy itself: (j, i) with both partners set to the offending match.
+func BlockingPairs(mk *pref.Market, m Matching) []BlockingPair {
+	var out []BlockingPair
+	r, t := mk.NumRequests(), mk.NumTaxis()
+	if len(m.ReqPartner) != r || len(m.TaxiPartner) != t {
+		return nil
+	}
+	for j := 0; j < r; j++ {
+		if i := m.ReqPartner[j]; i != Unmatched && !mk.MutualOK(j, i) {
+			out = append(out, BlockingPair{
+				Request: j, Taxi: i, ReqPartner: i, TaxiPartner: j,
+			})
+		}
+	}
+	for j := 0; j < r; j++ {
+		for i := 0; i < t; i++ {
+			if m.ReqPartner[j] == i || !mk.MutualOK(j, i) {
+				continue
+			}
+			jWants := m.ReqPartner[j] == Unmatched || mk.ReqPrefers(j, i, m.ReqPartner[j])
+			if !jWants {
+				continue
+			}
+			iWants := m.TaxiPartner[i] == Unmatched || mk.TaxiPrefers(i, j, m.TaxiPartner[i])
+			if iWants {
+				out = append(out, BlockingPair{
+					Request:     j,
+					Taxi:        i,
+					ReqPartner:  m.ReqPartner[j],
+					TaxiPartner: m.TaxiPartner[i],
+				})
+			}
+		}
+	}
+	return out
+}

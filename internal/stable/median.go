@@ -1,0 +1,63 @@
+package stable
+
+import (
+	"sort"
+
+	"stabledispatch/internal/pref"
+)
+
+// MedianStable returns the median stable matching: for every request,
+// sort its partners across all stable matchings by its own preference and
+// take the middle one. By the lattice structure of stable matchings
+// (Teo & Sethuraman; the paper cites this line of work as [13]) the
+// induced assignment is itself a stable matching, sitting halfway between
+// the passenger-optimal and taxi-optimal extremes — a natural fairness
+// compromise for the platform.
+//
+// The guarantee requires the full lattice: the enumeration is capped at
+// limit matchings (0 = unlimited), and if the cap truncated the set (or
+// numeric ties produced an inconsistent selection) the per-request median
+// may not be stable, in which case the middle enumerated matching is
+// returned instead — always a genuine stable matching.
+func MedianStable(mk *pref.Market, limit int) Matching {
+	all := AllStableMatchings(mk, limit)
+	if len(all) == 1 {
+		return all[0]
+	}
+	r := mk.NumRequests()
+	t := mk.NumTaxis()
+	median := NewMatching(r, t)
+	for j := 0; j < r; j++ {
+		partners := make([]int, len(all))
+		for k, m := range all {
+			partners[k] = m.ReqPartner[j]
+		}
+		// Sort by request j's preference; by the rural-hospitals
+		// property a request unmatched in one stable matching is
+		// unmatched in all, so Unmatched never mixes with real
+		// partners here.
+		sort.Slice(partners, func(a, b int) bool {
+			pa, pb := partners[a], partners[b]
+			if pa == Unmatched || pb == Unmatched {
+				return pb == Unmatched && pa != Unmatched
+			}
+			return mk.ReqPrefers(j, pa, pb)
+		})
+		median.ReqPartner[j] = partners[(len(partners)-1)/2]
+	}
+	collision := false
+	for j, i := range median.ReqPartner {
+		if i == Unmatched {
+			continue
+		}
+		if median.TaxiPartner[i] != Unmatched {
+			collision = true
+			break
+		}
+		median.TaxiPartner[i] = j
+	}
+	if collision || IsStable(mk, median) != nil {
+		return all[(len(all)-1)/2]
+	}
+	return median
+}

@@ -1,0 +1,261 @@
+// Package stable implements the paper's matching core: Algorithm 1
+// (non-sharing taxi dispatch via passenger-proposing deferred acceptance
+// with dummy partners), Algorithm 2 (enumerating all stable matchings via
+// BreakDispatch under Rules 1–3), the taxi-optimal matching, and
+// company-side selection among the stable matchings.
+//
+// Terminology follows the paper: passengers play the proposing side of
+// the Gale–Shapley procedure, so Algorithm 1 yields the passenger-optimal
+// stable matching (Property 2). Dummy partners (Theorem 1) are encoded by
+// the acceptability bits of pref.Market — a pair behind either dummy is
+// simply never proposed to and never accepted.
+package stable
+
+import (
+	"fmt"
+
+	"stabledispatch/internal/pref"
+)
+
+// Unmatched marks a request or taxi with a dummy partner (no dispatch).
+const Unmatched = -1
+
+// Matching is a taxi dispatch schedule S: a partial matching between
+// requests and taxis.
+type Matching struct {
+	// ReqPartner[j] is the taxi dispatched to request j, or Unmatched.
+	ReqPartner []int
+	// TaxiPartner[i] is the request taxi i serves, or Unmatched.
+	TaxiPartner []int
+}
+
+// NewMatching returns an empty matching for r requests and t taxis.
+func NewMatching(r, t int) Matching {
+	m := Matching{
+		ReqPartner:  make([]int, r),
+		TaxiPartner: make([]int, t),
+	}
+	for j := range m.ReqPartner {
+		m.ReqPartner[j] = Unmatched
+	}
+	for i := range m.TaxiPartner {
+		m.TaxiPartner[i] = Unmatched
+	}
+	return m
+}
+
+// Clone returns a deep copy of the matching.
+func (m Matching) Clone() Matching {
+	c := Matching{
+		ReqPartner:  make([]int, len(m.ReqPartner)),
+		TaxiPartner: make([]int, len(m.TaxiPartner)),
+	}
+	copy(c.ReqPartner, m.ReqPartner)
+	copy(c.TaxiPartner, m.TaxiPartner)
+	return c
+}
+
+// Size returns the number of matched request-taxi pairs.
+func (m Matching) Size() int {
+	n := 0
+	for _, p := range m.ReqPartner {
+		if p != Unmatched {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether two matchings pair everyone identically.
+func (m Matching) Equal(o Matching) bool {
+	if len(m.ReqPartner) != len(o.ReqPartner) {
+		return false
+	}
+	for j := range m.ReqPartner {
+		if m.ReqPartner[j] != o.ReqPartner[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string identity for deduplication in tests.
+func (m Matching) Key() string {
+	return fmt.Sprint(m.ReqPartner)
+}
+
+// market state shared by Algorithm 1, Algorithm 2, and the verifier.
+// prefs[j] is request j's mutually acceptable taxi list, most preferred
+// first; next[j] is the index of the entry request j will propose to
+// next (entries before it have already refused j or been left by j).
+type gsState struct {
+	match Matching
+	next  []int
+}
+
+func (s gsState) clone() gsState {
+	c := gsState{
+		match: s.match.Clone(),
+		next:  make([]int, len(s.next)),
+	}
+	copy(c.next, s.next)
+	return c
+}
+
+// PassengerOptimal runs Algorithm 1 (Non-Sharing Taxi Dispatch) and
+// returns the passenger-optimal stable matching: every request gets its
+// best partner among all stable matchings, every taxi its worst
+// (Property 2). Requests and taxis whose preference order starts with the
+// dummy are never dispatched (Property 1).
+func PassengerOptimal(mk *pref.Market) Matching {
+	state, _ := passengerOptimalState(mk, nil)
+	return state.match
+}
+
+// passengerOptimalState runs Algorithm 1 and returns the full proposal
+// state, which Algorithm 2 continues from. prefs may be nil, in which
+// case the preference lists are computed here; otherwise it must be the
+// market's request preference lists.
+func passengerOptimalState(mk *pref.Market, prefs [][]int) (gsState, [][]int) {
+	r, t := mk.NumRequests(), mk.NumTaxis()
+	if prefs == nil {
+		prefs = make([][]int, r)
+		for j := 0; j < r; j++ {
+			prefs[j] = mk.ReqPrefList(j)
+		}
+	}
+	state := gsState{
+		match: NewMatching(r, t),
+		next:  make([]int, r),
+	}
+	for j := 0; j < r; j++ {
+		propose(mk, prefs, &state, j)
+	}
+	return state, prefs
+}
+
+// propose is the paper's Proposal/Refusal pair: request j proposes down
+// its preference list; a displaced request immediately re-proposes
+// (iteratively rather than recursively).
+func propose(mk *pref.Market, prefs [][]int, s *gsState, j int) {
+	active := j
+	for {
+		if s.next[active] >= len(prefs[active]) {
+			// Next entry is the dummy: active stays unserved.
+			s.match.ReqPartner[active] = Unmatched
+			return
+		}
+		i := prefs[active][s.next[active]]
+		s.next[active]++
+
+		cur := s.match.TaxiPartner[i]
+		if cur == Unmatched {
+			// Refusal, lines 10-11: an undispatched taxi accepts
+			// any request ahead of its dummy (the pref list
+			// already guarantees mutual acceptability).
+			s.match.TaxiPartner[i] = active
+			s.match.ReqPartner[active] = i
+			return
+		}
+		if mk.TaxiPrefers(i, active, cur) {
+			// Refusal, lines 12-14: the taxi upgrades and the
+			// displaced request goes back to proposing.
+			s.match.TaxiPartner[i] = active
+			s.match.ReqPartner[active] = i
+			s.match.ReqPartner[cur] = Unmatched
+			active = cur
+			continue
+		}
+		// Refusal, line 16: taxi keeps its partner; active proposes
+		// to its next entry.
+	}
+}
+
+// TaxiOptimal returns the taxi-optimal stable matching: among all stable
+// matchings every taxi gets its best partner and every request its worst.
+// It runs the mirror-image of Algorithm 1 with taxis proposing, which by
+// the lattice structure of stable matchings (and confirmed against the
+// Algorithm 2 enumeration in tests) is exactly the matching the paper
+// calls NSTD-T.
+func TaxiOptimal(mk *pref.Market) Matching {
+	r, t := mk.NumRequests(), mk.NumTaxis()
+	prefs := make([][]int, t)
+	for i := 0; i < t; i++ {
+		prefs[i] = mk.TaxiPrefList(i)
+	}
+	match := NewMatching(r, t)
+	next := make([]int, t)
+	for i := 0; i < t; i++ {
+		active := i
+		for {
+			if next[active] >= len(prefs[active]) {
+				match.TaxiPartner[active] = Unmatched
+				break
+			}
+			j := prefs[active][next[active]]
+			next[active]++
+
+			cur := match.ReqPartner[j]
+			if cur == Unmatched {
+				match.ReqPartner[j] = active
+				match.TaxiPartner[active] = j
+				break
+			}
+			if mk.ReqPrefers(j, active, cur) {
+				match.ReqPartner[j] = active
+				match.TaxiPartner[active] = j
+				match.TaxiPartner[cur] = Unmatched
+				active = cur
+				continue
+			}
+		}
+	}
+	return match
+}
+
+// IsStable reports whether the matching is stable under Definition 1,
+// returning a descriptive error naming the first violation found:
+// either an individually irrational pair (someone matched behind their
+// dummy) or a blocking pair — a request and taxi that both prefer each
+// other over their current partners, where dummies prefer any acceptable
+// non-dummy.
+func IsStable(mk *pref.Market, m Matching) error {
+	r, t := mk.NumRequests(), mk.NumTaxis()
+	if len(m.ReqPartner) != r || len(m.TaxiPartner) != t {
+		return fmt.Errorf("stable: matching sized %dx%d, want %dx%d",
+			len(m.ReqPartner), len(m.TaxiPartner), r, t)
+	}
+	for j := 0; j < r; j++ {
+		i := m.ReqPartner[j]
+		if i == Unmatched {
+			continue
+		}
+		if i < 0 || i >= t {
+			return fmt.Errorf("stable: request %d matched to invalid taxi %d", j, i)
+		}
+		if m.TaxiPartner[i] != j {
+			return fmt.Errorf("stable: request %d and taxi %d disagree on pairing", j, i)
+		}
+		if !mk.MutualOK(j, i) {
+			return fmt.Errorf("stable: pair (r%d, t%d) is behind a dummy (individually irrational)", j, i)
+		}
+	}
+	for j := 0; j < r; j++ {
+		for i := 0; i < t; i++ {
+			if m.ReqPartner[j] == i || !mk.MutualOK(j, i) {
+				continue
+			}
+			// Request side: prefers i over its current partner,
+			// where the dummy loses to any acceptable taxi.
+			jWants := m.ReqPartner[j] == Unmatched || mk.ReqPrefers(j, i, m.ReqPartner[j])
+			if !jWants {
+				continue
+			}
+			iWants := m.TaxiPartner[i] == Unmatched || mk.TaxiPrefers(i, j, m.TaxiPartner[i])
+			if iWants {
+				return fmt.Errorf("stable: (r%d, t%d) is a blocking pair", j, i)
+			}
+		}
+	}
+	return nil
+}

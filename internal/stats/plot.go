@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PlotSeries is one line of an ASCII chart.
+type PlotSeries struct {
+	Name string
+	Y    []float64
+}
+
+// Plot renders aligned series as a terminal line chart — good enough to
+// eyeball the CDF shapes the paper plots without leaving the shell.
+type Plot struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Series []PlotSeries
+	// Height is the number of chart rows (default 16).
+	Height int
+	// Width is the number of chart columns (default 64); x points are
+	// resampled onto it.
+	Width int
+}
+
+// plotMarks assigns one rune per series, cycling if there are many.
+var plotMarks = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (p *Plot) Render(w io.Writer) error {
+	height := p.Height
+	if height <= 0 {
+		height = 16
+	}
+	width := p.Width
+	if width <= 0 {
+		width = 64
+	}
+	if len(p.X) == 0 || len(p.Series) == 0 {
+		_, err := fmt.Fprintf(w, "%s (no data)\n", p.Title)
+		return err
+	}
+
+	// Value range across all series (NaNs skipped).
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		_, err := fmt.Fprintf(w, "%s (no data)\n", p.Title)
+		return err
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	xMin, xMax := p.X[0], p.X[len(p.X)-1]
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	for si, s := range p.Series {
+		mark := plotMarks[si%len(plotMarks)]
+		for i, v := range s.Y {
+			if i >= len(p.X) || math.IsNaN(v) {
+				continue
+			}
+			col := int((p.X[i] - xMin) / (xMax - xMin) * float64(width-1))
+			row := height - 1 - int((v-lo)/(hi-lo)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	if p.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", p.Title); err != nil {
+			return err
+		}
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.2f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.2f", lo)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.2f", (hi+lo)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-10.2f%*s%.2f  (%s)\n",
+		strings.Repeat(" ", 8), xMin, width-22, "", xMax, p.XLabel); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", plotMarks[si%len(plotMarks)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 8), strings.Join(legend, "   "))
+	return err
+}

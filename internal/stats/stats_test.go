@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) != NaN")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean([]float64{-4}); got != -4 {
+		t.Errorf("Mean = %v, want -4", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty must be NaN")
+	}
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 10},
+		{p: 100, want: 50},
+		{p: 50, want: 30},
+		{p: 25, want: 20},
+		{p: 110, want: 50},
+		{p: -5, want: 10},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) != NaN")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("Percentile(50) = %v, want 5", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	points := []float64{0, 1, 2, 2.5, 3, 10}
+	want := []float64{0, 0.25, 0.75, 0.75, 1, 1}
+	got := CDF(xs, points)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("CDF at %v = %v, want %v", points[i], got[i], want[i])
+		}
+	}
+	empty := CDF(nil, points)
+	for i, v := range empty {
+		if v != 0 {
+			t.Errorf("CDF(nil) at %v = %v, want 0", points[i], v)
+		}
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+		}
+		points := Linspace(-60, 60, 25)
+		cdf := CDF(xs, points)
+		prev := 0.0
+		for _, v := range cdf {
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return cdf[len(cdf)-1] == 1
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Round(rng.Float64()*10) / 2 // induce ties
+		}
+		points := Linspace(0, 5, 11)
+		got := CDF(xs, points)
+		for i, p := range points {
+			count := 0
+			for _, x := range xs {
+				if x <= p {
+					count++
+				}
+			}
+			want := float64(count) / float64(n)
+			if math.Abs(got[i]-want) > 1e-9 {
+				sort.Float64s(xs)
+				t.Fatalf("trial %d: CDF(%v) = %v, want %v (xs %v)", trial, p, got[i], want, xs)
+			}
+		}
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	if got := Linspace(0, 1, 0); got != nil {
+		t.Errorf("Linspace n=0 = %v", got)
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace n=1 = %v", got)
+	}
+	got := Linspace(0, 10, 5)
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("Linspace = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "Fig. X",
+		Columns: []string{"alg", "delay"},
+	}
+	tb.AddRow("NSTD-P", F(1.25))
+	tb.AddRow("Greedy", F(math.NaN()))
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. X", "alg", "delay", "NSTD-P", "1.250", "Greedy", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestF(t *testing.T) {
+	if got := F(1.23456); got != "1.235" {
+		t.Errorf("F = %q", got)
+	}
+	if got := F(math.NaN()); got != "-" {
+		t.Errorf("F(NaN) = %q", got)
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := Plot{
+		Title:  "delay CDF",
+		XLabel: "minutes",
+		X:      Linspace(0, 10, 11),
+		Series: []PlotSeries{
+			{Name: "NSTD-P", Y: Linspace(0, 1, 11)},
+			{Name: "Greedy", Y: Linspace(0.5, 0.9, 11)},
+		},
+		Height: 8,
+		Width:  40,
+	}
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"delay CDF", "NSTD-P", "Greedy", "minutes", "*", "o", "1.00", "0.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + 8 rows + axis + x labels + legend.
+	if len(lines) != 12 {
+		t.Errorf("plot has %d lines, want 12:\n%s", len(lines), out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var sb strings.Builder
+	p := Plot{Title: "empty"}
+	if err := p.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty plot = %q", sb.String())
+	}
+
+	sb.Reset()
+	nan := Plot{Title: "nan", X: []float64{0, 1}, Series: []PlotSeries{{Name: "a", Y: []float64{math.NaN(), math.NaN()}}}}
+	if err := nan.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("nan plot = %q", sb.String())
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	var sb strings.Builder
+	p := Plot{
+		Title:  "flat",
+		X:      []float64{0, 1, 2},
+		Series: []PlotSeries{{Name: "c", Y: []float64{5, 5, 5}}},
+	}
+	if err := p.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("flat series not drawn")
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/geo"
+)
+
+// csvHeader is the column layout for trace files: one request per row.
+var csvHeader = []string{"id", "frame", "pickup_x", "pickup_y", "dropoff_x", "dropoff_y", "seats"}
+
+// WriteCSV streams the requests to w in the trace CSV format, so real
+// traces (e.g. the NYC TLC data) can be converted once and replayed.
+func WriteCSV(w io.Writer, reqs []fleet.Request) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range reqs {
+		row := []string{
+			strconv.Itoa(r.ID),
+			strconv.Itoa(r.Frame),
+			strconv.FormatFloat(r.Pickup.X, 'f', -1, 64),
+			strconv.FormatFloat(r.Pickup.Y, 'f', -1, 64),
+			strconv.FormatFloat(r.Dropoff.X, 'f', -1, 64),
+			strconv.FormatFloat(r.Dropoff.Y, 'f', -1, 64),
+			strconv.Itoa(r.SeatCount()),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write request %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace CSV produced by WriteCSV (or converted from a
+// real dataset).
+func ReadCSV(r io.Reader) ([]fleet.Request, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	for i, name := range csvHeader {
+		if rows[0][i] != name {
+			return nil, fmt.Errorf("trace: column %d is %q, want %q", i, rows[0][i], name)
+		}
+	}
+	var reqs []fleet.Request
+	for n, row := range rows[1:] {
+		req, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", n+2, err)
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs, nil
+}
+
+func parseRow(row []string) (fleet.Request, error) {
+	id, err := strconv.Atoi(row[0])
+	if err != nil {
+		return fleet.Request{}, fmt.Errorf("id: %w", err)
+	}
+	frame, err := strconv.Atoi(row[1])
+	if err != nil {
+		return fleet.Request{}, fmt.Errorf("frame: %w", err)
+	}
+	coords := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		coords[i], err = strconv.ParseFloat(row[2+i], 64)
+		if err != nil {
+			return fleet.Request{}, fmt.Errorf("coordinate %d: %w", i, err)
+		}
+	}
+	seats, err := strconv.Atoi(row[6])
+	if err != nil {
+		return fleet.Request{}, fmt.Errorf("seats: %w", err)
+	}
+	return fleet.Request{
+		ID:      id,
+		Frame:   frame,
+		Pickup:  geo.Point{X: coords[0], Y: coords[1]},
+		Dropoff: geo.Point{X: coords[2], Y: coords[3]},
+		Seats:   seats,
+	}, nil
+}

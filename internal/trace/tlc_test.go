@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stabledispatch/internal/geo"
+)
+
+const tlcSample = `VendorID,tpep_pickup_datetime,tpep_dropoff_datetime,passenger_count,trip_distance,pickup_longitude,pickup_latitude,RatecodeID,store_and_fwd_flag,dropoff_longitude,dropoff_latitude,payment_type,fare_amount
+2,2016-01-01 00:00:00,2016-01-01 00:11:06,1,1.10,-73.990372,40.734695,1,N,-73.981842,40.732407,2,7.5
+2,2016-01-01 00:05:30,2016-01-01 00:31:06,5,4.90,-73.980782,40.729912,1,N,-73.944473,40.716679,1,18
+2,2016-01-01 00:07:15,2016-01-01 00:52:00,2,10.54,-73.984550,40.679565,1,N,-73.950272,40.788925,1,33
+1,2016-01-01 00:03:00,2016-01-01 00:10:00,1,0.0,0,0,1,N,-73.95,40.78,1,5
+bad-row
+`
+
+func TestConvertTLC(t *testing.T) {
+	// The csv reader tolerates the short "bad-row" only because
+	// FieldsPerRecord is -1; the row is skipped for missing columns.
+	reqs, err := ConvertTLC(strings.NewReader(tlcSample), TLCOptions{})
+	if err != nil {
+		t.Fatalf("ConvertTLC: %v", err)
+	}
+	// Row 4 has zero coordinates (TLC null) and must be dropped.
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requests, want 3", len(reqs))
+	}
+	// Frames are minutes since the earliest pickup, sorted.
+	wantFrames := []int{0, 5, 7}
+	for i, w := range wantFrames {
+		if reqs[i].Frame != w {
+			t.Errorf("request %d frame = %d, want %d", i, reqs[i].Frame, w)
+		}
+		if reqs[i].ID != i {
+			t.Errorf("request %d ID = %d", i, reqs[i].ID)
+		}
+	}
+	if reqs[1].SeatCount() != 5 {
+		t.Errorf("seats = %d, want 5", reqs[1].SeatCount())
+	}
+
+	// Projection sanity: trip 1 is ~0.75 km east-ish; the TLC's own
+	// odometer distance for row 1 is 1.10 miles of street driving, so
+	// straight-line must be below that but same order.
+	trip := reqs[0].TripDistance(geo.EuclidMetric)
+	if trip < 0.3 || trip > 1.5 {
+		t.Errorf("projected trip 1 = %v km, expected sub-mile straight line", trip)
+	}
+	// Trip 3 is a long haul (~12 km odometer): projection must agree on
+	// the order of magnitude.
+	trip3 := reqs[2].TripDistance(geo.EuclidMetric)
+	if trip3 < 8 || trip3 > 16 {
+		t.Errorf("projected trip 3 = %v km, want ~12", trip3)
+	}
+}
+
+func TestConvertTLCProjectionIsLocallyAccurate(t *testing.T) {
+	// Two points 0.01 degrees of latitude apart are ~1.11 km apart on
+	// Earth; the projection must agree closely.
+	csvData := "tpep_pickup_datetime,pickup_longitude,pickup_latitude,dropoff_longitude,dropoff_latitude\n" +
+		"2016-01-01 00:00:00,-74.0,40.70,-74.0,40.71\n"
+	reqs, err := ConvertTLC(strings.NewReader(csvData), TLCOptions{})
+	if err != nil {
+		t.Fatalf("ConvertTLC: %v", err)
+	}
+	trip := reqs[0].TripDistance(geo.EuclidMetric)
+	if math.Abs(trip-1.112) > 0.02 {
+		t.Errorf("0.01 degree latitude = %v km, want ~1.112", trip)
+	}
+}
+
+func TestConvertTLCErrors(t *testing.T) {
+	if _, err := ConvertTLC(strings.NewReader(""), TLCOptions{}); err == nil {
+		t.Error("accepted empty input")
+	}
+	if _, err := ConvertTLC(strings.NewReader("a,b,c\n1,2,3\n"), TLCOptions{}); err == nil {
+		t.Error("accepted input without the TLC columns")
+	}
+	onlyHeader := "tpep_pickup_datetime,pickup_longitude,pickup_latitude,dropoff_longitude,dropoff_latitude\n"
+	if _, err := ConvertTLC(strings.NewReader(onlyHeader), TLCOptions{}); err == nil {
+		t.Error("accepted input with zero usable rows")
+	}
+}
+
+func TestConvertTLCMaxRows(t *testing.T) {
+	reqs, err := ConvertTLC(strings.NewReader(tlcSample), TLCOptions{MaxRows: 2})
+	if err != nil {
+		t.Fatalf("ConvertTLC: %v", err)
+	}
+	if len(reqs) != 2 {
+		t.Errorf("got %d requests, want 2", len(reqs))
+	}
+}
+
+func TestConvertTLCCustomColumns(t *testing.T) {
+	csvData := "when,plon,plat,dlon,dlat\n" +
+		"2020-05-05 10:00:00,-71.06,42.36,-71.05,42.37\n"
+	reqs, err := ConvertTLC(strings.NewReader(csvData), TLCOptions{
+		Columns: TLCColumns{
+			PickupTime: "when",
+			PickupLon:  "plon",
+			PickupLat:  "plat",
+			DropoffLon: "dlon",
+			DropoffLat: "dlat",
+		},
+	})
+	if err != nil {
+		t.Fatalf("ConvertTLC: %v", err)
+	}
+	if len(reqs) != 1 || reqs[0].SeatCount() != 1 {
+		t.Errorf("reqs = %+v", reqs)
+	}
+}
