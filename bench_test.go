@@ -10,12 +10,15 @@ import (
 	"fmt"
 	"testing"
 
+	"stabledispatch/internal/dispatch"
 	"stabledispatch/internal/exp"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/match"
+	"stabledispatch/internal/obs"
 	"stabledispatch/internal/pref"
 	"stabledispatch/internal/share"
+	"stabledispatch/internal/sim"
 	"stabledispatch/internal/stable"
 	"stabledispatch/internal/trace"
 )
@@ -190,6 +193,50 @@ func BenchmarkSharedRoute(b *testing.B) {
 		}
 	}
 }
+
+// benchFrame builds one NSTD-P-sized dispatch frame with an all-idle
+// fleet, for measuring the full per-frame dispatch path.
+func benchFrame(b *testing.B, nReqs, nTaxis int) *sim.Frame {
+	b.Helper()
+	reqs, taxis := benchWorld(b, nReqs, nTaxis)
+	f := &sim.Frame{
+		Requests: reqs,
+		Metric:   geo.EuclidMetric,
+		Params:   pref.DefaultParams(),
+	}
+	for _, t := range taxis {
+		f.Taxis = append(f.Taxis, sim.TaxiView{ID: t.ID, Pos: t.Pos, Seats: t.Seats, Idle: true})
+	}
+	return f
+}
+
+func benchmarkDispatchFrame(b *testing.B, instrumented bool) {
+	was := obs.Enabled()
+	obs.SetEnabled(instrumented)
+	defer obs.SetEnabled(was)
+	f := benchFrame(b, 100, 400)
+	d := dispatch.NewNSTDP()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := d.Dispatch(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("no assignments")
+		}
+	}
+}
+
+// BenchmarkDispatchFrame measures an NSTD-P frame with the obs registry
+// disabled: the uninstrumented baseline.
+func BenchmarkDispatchFrame(b *testing.B) { benchmarkDispatchFrame(b, false) }
+
+// BenchmarkDispatchFrameInstrumented measures the identical frame with
+// metrics enabled; compare against BenchmarkDispatchFrame to bound the
+// instrumentation overhead (budget: <2%).
+func BenchmarkDispatchFrameInstrumented(b *testing.B) { benchmarkDispatchFrame(b, true) }
 
 // BenchmarkAblationMaxNet regenerates the taxi-threshold ablation sweep.
 func BenchmarkAblationMaxNet(b *testing.B) {

@@ -12,7 +12,11 @@
 //	GET  /v1/taxis
 //	GET  /v1/requests/{id}
 //	GET  /v1/report
+//	GET  /v1/metrics        Prometheus text format
 //	GET  /healthz
+//
+// With -debug-addr a second listener serves net/http/pprof under
+// /debug/pprof/, kept off the public API address on purpose.
 package main
 
 import (
@@ -20,8 +24,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -51,6 +56,8 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 42, "random seed for taxi placement")
 		theta    = fs.Float64("theta", 5, "sharing detour bound in km")
 		auto     = fs.Duration("auto", 0, "advance one frame automatically at this interval (0 = manual /v1/tick only)")
+		debug    = fs.String("debug-addr", "", "optional extra listener for net/http/pprof (e.g. localhost:6060; empty = disabled)")
+		quiet    = fs.Bool("quiet", false, "suppress per-request access logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,11 +90,40 @@ func run(args []string) error {
 		return err
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	accessLogger := logger
+	if *quiet {
+		accessLogger = nil
+	}
+
 	server := newServer(s).withEvents(events)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.handler(),
+		Handler:           withObs(accessLogger, server.handler()),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Profiling stays on its own listener so it is never reachable
+	// through the public API address.
+	if *debug != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg := &http.Server{
+			Addr:              *debug,
+			Handler:           dmux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("pprof listener up", "addr", *debug)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof listener failed", "err", err)
+			}
+		}()
+		defer dbg.Close()
 	}
 
 	// Optional wall-clock frame advancement, with a managed lifetime:
@@ -105,7 +141,7 @@ func run(args []string) error {
 				select {
 				case <-ticker.C:
 					if err := server.step(); err != nil {
-						log.Printf("dispatchd: auto tick: %v", err)
+						logger.Warn("auto tick failed", "err", err)
 					}
 				case <-stopTicker:
 					return
@@ -122,7 +158,8 @@ func run(args []string) error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("dispatchd: %s on %s (%d taxis, %s)", d.Name(), *addr, *taxis, city.Name)
+		logger.Info("dispatchd up",
+			"algo", d.Name(), "addr", *addr, "taxis", *taxis, "city", city.Name)
 		errCh <- srv.ListenAndServe()
 	}()
 

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"stabledispatch/internal/obs"
+)
+
+// interruptAfterStartup sends SIGINT once run has had time to install
+// its signal handler and waits for a clean exit.
+func interruptAfterStartup(t *testing.T, errCh <-chan error) {
+	t.Helper()
+	time.Sleep(200 * time.Millisecond)
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not shut down after interrupt")
+	}
+}
+
+// promSample matches one Prometheus text-format sample line:
+// name, optional {label="value",...} block, and a numeric value.
+var promSample = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_:][a-zA-Z0-9_:]*="[^"]*"(,[a-zA-Z_:][a-zA-Z0-9_:]*="[^"]*")*\})? (\S+)$`)
+
+func TestMetricsEndpointPrometheusFormat(t *testing.T) {
+	ts := testServer(t)
+
+	// Generate some traffic so the registry has dispatch series.
+	postJSON(t, ts.URL+"/v1/requests", requestIn{
+		Pickup:  pointJSON{X: 10.5, Y: 10},
+		Dropoff: pointJSON{X: 12, Y: 10},
+	})
+	postJSON(t, ts.URL+"/v1/tick", tickIn{Frames: 3})
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain", ct)
+	}
+
+	// Every line must be a TYPE comment or a well-formed sample whose
+	// value parses as a float.
+	names := make(map[string]bool)
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		lines++
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				t.Errorf("bad comment line %q", line)
+			}
+			continue
+		}
+		m := promSample.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable sample line %q", line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(m[4], 64); err != nil {
+			t.Errorf("non-numeric value in %q: %v", line, err)
+		}
+		names[m[1]] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("empty metrics body")
+	}
+	for _, want := range []string{
+		"sim_frames_total",
+		"sim_dispatch_frame_seconds_bucket",
+		"sim_dispatch_frame_seconds_count",
+		"dispatch_stage_seconds_bucket",
+		"sim_events_total",
+	} {
+		if !names[want] {
+			t.Errorf("metric family %q missing from exposition", want)
+		}
+	}
+}
+
+func TestWithObsCountsRequests(t *testing.T) {
+	handler := withObs(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}))
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	okCounter := obs.GetOrCreateCounter(`http_requests_total{code="200"}`)
+	missCounter := obs.GetOrCreateCounter(`http_requests_total{code="404"}`)
+	okBefore, missBefore := okCounter.Value(), missCounter.Value()
+	secondsBefore := obsHTTPSeconds.Count()
+
+	for _, path := range []string{"/", "/boom"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	if got := okCounter.Value(); got != okBefore+1 {
+		t.Errorf("200 counter = %d, want %d", got, okBefore+1)
+	}
+	if got := missCounter.Value(); got != missBefore+1 {
+		t.Errorf("404 counter = %d, want %d", got, missBefore+1)
+	}
+	if got := obsHTTPSeconds.Count(); got != secondsBefore+2 {
+		t.Errorf("http_request_seconds count = %d, want %d", got, secondsBefore+2)
+	}
+}
+
+func TestReportIncludesStageBreakdown(t *testing.T) {
+	ts := testServer(t)
+	postJSON(t, ts.URL+"/v1/requests", requestIn{
+		Pickup:  pointJSON{X: 10.5, Y: 10},
+		Dropoff: pointJSON{X: 12, Y: 10},
+	})
+	postJSON(t, ts.URL+"/v1/tick", tickIn{Frames: 2})
+
+	resp, err := http.Get(ts.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	report := decode[reportOut](t, resp)
+	if report.FrameLatency == nil || report.FrameLatency.Count == 0 {
+		t.Errorf("frame latency missing: %+v", report.FrameLatency)
+	}
+	stages := make(map[string]stageOut)
+	for _, st := range report.Stages {
+		stages[st.Stage] = st
+	}
+	for _, want := range []string{"idle_scan", "pref_build", "matching"} {
+		if stages[want].Count == 0 {
+			t.Errorf("stage %q missing from report (got %v)", want, report.Stages)
+		}
+	}
+}
+
+func TestRunWithDebugListener(t *testing.T) {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-addr", "127.0.0.1:0", "-taxis", "2", "-quiet",
+			"-debug-addr", "127.0.0.1:0",
+		})
+	}()
+	interruptAfterStartup(t, errCh)
+}

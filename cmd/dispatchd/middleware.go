@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"stabledispatch/internal/obs"
+)
+
+// obsHTTPSeconds times every API request end to end, across all routes.
+var obsHTTPSeconds = obs.GetOrCreateHistogram("http_request_seconds")
+
+// statusWriter captures the status code a handler writes so the access
+// log and the per-code request counter can report it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withObs wraps the API handler with request metrics
+// (http_requests_total{code=...}, http_request_seconds) and, when logger
+// is non-nil, one structured access-log line per request.
+func withObs(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		obsHTTPSeconds.Observe(elapsed.Seconds())
+		obs.GetOrCreateCounter(fmt.Sprintf(`http_requests_total{code="%d"}`, sw.status)).Inc()
+		if logger != nil {
+			logger.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration", elapsed,
+			)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
+	"stabledispatch/internal/obs"
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/stats"
 )
@@ -48,6 +49,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/report", s.getReport)
 	mux.HandleFunc("GET /v1/requests/{id}", s.getRequest)
 	mux.HandleFunc("GET /v1/events", s.getEvents)
+	mux.HandleFunc("GET /v1/metrics", s.getMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -157,15 +159,52 @@ func (s *server) getTaxis(w http.ResponseWriter, _ *http.Request) {
 }
 
 type reportOut struct {
-	Algorithm         string  `json:"algorithm"`
-	Frame             int     `json:"frame"`
-	Requests          int     `json:"requests"`
-	Served            int     `json:"served"`
-	Episodes          int     `json:"episodes"`
-	SharedRides       int     `json:"sharedRides"`
-	MeanDelayMinutes  float64 `json:"meanDelayMinutes"`
-	MeanPassengerDiss float64 `json:"meanPassengerDissKm"`
-	MeanTaxiDiss      float64 `json:"meanTaxiDissKm"`
+	Algorithm         string     `json:"algorithm"`
+	Frame             int        `json:"frame"`
+	Requests          int        `json:"requests"`
+	Served            int        `json:"served"`
+	Episodes          int        `json:"episodes"`
+	SharedRides       int        `json:"sharedRides"`
+	MeanDelayMinutes  float64    `json:"meanDelayMinutes"`
+	MeanPassengerDiss float64    `json:"meanPassengerDissKm"`
+	MeanTaxiDiss      float64    `json:"meanTaxiDissKm"`
+	FrameLatency      *stageOut  `json:"frameLatency,omitempty"`
+	Stages            []stageOut `json:"stages,omitempty"`
+}
+
+// stageOut summarises one dispatch-pipeline stage histogram (times in
+// seconds, from the process-wide obs registry).
+type stageOut struct {
+	Stage        string  `json:"stage"`
+	Count        uint64  `json:"count"`
+	TotalSeconds float64 `json:"totalSeconds"`
+	P50Seconds   float64 `json:"p50Seconds"`
+	P95Seconds   float64 `json:"p95Seconds"`
+	P99Seconds   float64 `json:"p99Seconds"`
+}
+
+func summaryToStage(name string, hs obs.HistogramSummary) stageOut {
+	return stageOut{
+		Stage:        name,
+		Count:        hs.Count,
+		TotalSeconds: hs.Sum,
+		P50Seconds:   hs.P50,
+		P95Seconds:   hs.P95,
+		P99Seconds:   hs.P99,
+	}
+}
+
+// stageBreakdown reads the dispatch-stage and per-frame latency
+// histograms out of the obs registry for the report payload.
+func stageBreakdown() (frame *stageOut, stages []stageOut) {
+	for _, hs := range obs.HistogramSummaries("dispatch_stage_seconds") {
+		stages = append(stages, summaryToStage(hs.Label("stage"), hs))
+	}
+	for _, hs := range obs.HistogramSummaries("sim_dispatch_frame_seconds") {
+		out := summaryToStage("frame", hs)
+		frame = &out
+	}
+	return frame, stages
 }
 
 func (s *server) getReport(w http.ResponseWriter, _ *http.Request) {
@@ -173,6 +212,7 @@ func (s *server) getReport(w http.ResponseWriter, _ *http.Request) {
 	rep := s.sim.Snapshot()
 	frame := s.sim.Frame()
 	s.mu.Unlock()
+	frameLatency, stages := stageBreakdown()
 	writeJSON(w, http.StatusOK, reportOut{
 		Algorithm:         rep.Algorithm,
 		Frame:             frame,
@@ -183,7 +223,18 @@ func (s *server) getReport(w http.ResponseWriter, _ *http.Request) {
 		MeanDelayMinutes:  nanToZero(stats.Mean(rep.DispatchDelays())),
 		MeanPassengerDiss: nanToZero(stats.Mean(rep.PassengerDissatisfactions())),
 		MeanTaxiDiss:      nanToZero(stats.Mean(rep.TaxiDissatisfactions())),
+		FrameLatency:      frameLatency,
+		Stages:            stages,
 	})
+}
+
+// getMetrics exposes the obs registry in the Prometheus text format.
+func (s *server) getMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w); err != nil {
+		// The header is already out; the client sees a truncated body.
+		return
+	}
 }
 
 type requestStatusOut struct {

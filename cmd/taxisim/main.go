@@ -20,6 +20,7 @@ import (
 	"stabledispatch/internal/carpool"
 	"stabledispatch/internal/dispatch"
 	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/obs"
 	"stabledispatch/internal/pref"
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
@@ -238,7 +239,37 @@ func printSummary(w io.Writer, rep *sim.Report, total, taxis int) error {
 	if err := tb.Render(w); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "  served %d/%d (%d unserved, %d abandoned), %d episodes, %d shared rides\n",
-		rep.ServedCount(), total, rep.UnservedCount(), rep.AbandonedCount(), len(rep.Episodes), rep.SharedRideCount())
-	return err
+	if _, err := fmt.Fprintf(w, "  served %d/%d (%d unserved, %d abandoned), %d episodes, %d shared rides\n",
+		rep.ServedCount(), total, rep.UnservedCount(), rep.AbandonedCount(), len(rep.Episodes), rep.SharedRideCount()); err != nil {
+		return err
+	}
+	return printStageTimings(w)
+}
+
+// printStageTimings renders the dispatch-pipeline stage histograms
+// recorded by internal/obs during the run. Only printed for single-
+// algorithm runs: the registry is process-wide, so a multi-algorithm
+// comparison would blend the algorithms' timings together.
+func printStageTimings(w io.Writer) error {
+	summaries := obs.HistogramSummaries("dispatch_stage_seconds")
+	frames := obs.HistogramSummaries("sim_dispatch_frame_seconds")
+	if len(summaries) == 0 && len(frames) == 0 {
+		return nil
+	}
+	tb := stats.Table{
+		Title:   "dispatch pipeline stage timings",
+		Columns: []string{"stage", "calls", "total ms", "p50 ms", "p95 ms", "p99 ms"},
+	}
+	ms := func(sec float64) string { return stats.F(sec * 1e3) }
+	add := func(name string, hs obs.HistogramSummary) {
+		tb.AddRow(name, fmt.Sprintf("%d", hs.Count),
+			ms(hs.Sum), ms(hs.P50), ms(hs.P95), ms(hs.P99))
+	}
+	for _, hs := range frames {
+		add("frame (total)", hs)
+	}
+	for _, hs := range summaries {
+		add(hs.Label("stage"), hs)
+	}
+	return tb.Render(w)
 }

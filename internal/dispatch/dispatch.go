@@ -25,6 +25,7 @@ import (
 // idleFleet converts the idle taxis of a frame into fleet.Taxi values,
 // returning also their IDs aligned by index.
 func idleFleet(f *sim.Frame) []fleet.Taxi {
+	defer stageTimer("idle_scan").ObserveDuration()
 	views := f.IdleTaxis()
 	taxis := make([]fleet.Taxi, len(views))
 	for i, v := range views {
@@ -64,17 +65,23 @@ func (d *NSTD) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if len(taxis) == 0 || len(f.Requests) == 0 {
 		return nil, nil
 	}
+	tm := stageTimer("pref_build")
 	inst, err := pref.NewInstance(f.Requests, taxis, f.Metric, f.Params)
+	tm.ObserveDuration()
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
+	tm = stageTimer("matching")
 	var m stable.Matching
 	if d.taxiOptimal {
 		m = stable.TaxiOptimal(&inst.Market)
 	} else {
 		m = stable.PassengerOptimal(&inst.Market)
 	}
-	return singleRides(m, taxis, f.Requests), nil
+	tm.ObserveDuration()
+	out := singleRides(m, taxis, f.Requests)
+	obsAssignments.Add(uint64(len(out)))
+	return out, nil
 }
 
 // costMatrix returns the request-major pickup-distance matrix the
@@ -134,7 +141,12 @@ func (b *baseline) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if len(taxis) == 0 || len(f.Requests) == 0 {
 		return nil, nil
 	}
-	partner, err := b.run(costMatrix(f, taxis))
+	tm := stageTimer("cost_matrix")
+	cost := costMatrix(f, taxis)
+	tm.ObserveDuration()
+	tm = stageTimer("matching")
+	partner, err := b.run(cost)
+	tm.ObserveDuration()
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %s: %w", b.name, err)
 	}
@@ -144,6 +156,7 @@ func (b *baseline) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 			out = append(out, fleet.SingleRide(taxis[i].ID, f.Requests[j]))
 		}
 	}
+	obsAssignments.Add(uint64(len(out)))
 	return out, nil
 }
 
@@ -188,26 +201,33 @@ func (d *STD) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if len(taxis) == 0 || len(f.Requests) == 0 {
 		return nil, nil
 	}
+	tm := stageTimer("packing")
 	units, err := packedUnits(f, d.packCfg, d.maxBatch)
+	tm.ObserveDuration()
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %s: %w", d.Name(), err)
 	}
+	tm = stageTimer("pref_build")
 	mk, err := share.BuildMarket(units, f.Requests, taxis, f.Metric, f.Params)
+	tm.ObserveDuration()
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %s: %w", d.Name(), err)
 	}
+	tm = stageTimer("matching")
 	var m stable.Matching
 	if d.taxiOptimal {
 		m = stable.TaxiOptimal(mk)
 	} else {
 		m = stable.PassengerOptimal(mk)
 	}
+	tm.ObserveDuration()
 	var out []fleet.Assignment
 	for k, i := range m.ReqPartner {
 		if i != stable.Unmatched {
 			out = append(out, units[k].Assignment(taxis[i].ID, f.Requests))
 		}
 	}
+	obsAssignments.Add(uint64(len(out)))
 	return out, nil
 }
 

@@ -36,12 +36,18 @@ func (d *NSTDC) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if len(taxis) == 0 || len(f.Requests) == 0 {
 		return nil, nil
 	}
+	tm := stageTimer("pref_build")
 	inst, err := pref.NewInstance(f.Requests, taxis, f.Metric, f.Params)
+	tm.ObserveDuration()
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
+	tm = stageTimer("matching")
 	m := stable.CompanyOptimal(&inst.Market, stable.TotalPickupDistance(inst), enumerationCap)
-	return singleRides(m, taxis, f.Requests), nil
+	tm.ObserveDuration()
+	out := singleRides(m, taxis, f.Requests)
+	obsAssignments.Add(uint64(len(out)))
+	return out, nil
 }
 
 // NSTDM selects the median stable matching of each frame — the fairness
@@ -63,12 +69,18 @@ func (d *NSTDM) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if len(taxis) == 0 || len(f.Requests) == 0 {
 		return nil, nil
 	}
+	tm := stageTimer("pref_build")
 	inst, err := pref.NewInstance(f.Requests, taxis, f.Metric, f.Params)
+	tm.ObserveDuration()
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
+	tm = stageTimer("matching")
 	m := stable.MedianStable(&inst.Market, enumerationCap)
-	return singleRides(m, taxis, f.Requests), nil
+	tm.ObserveDuration()
+	out := singleRides(m, taxis, f.Requests)
+	obsAssignments.Add(uint64(len(out)))
+	return out, nil
 }
 
 // singleRides converts a non-sharing matching into assignments.

@@ -1,0 +1,28 @@
+package dispatch
+
+import "stabledispatch/internal/obs"
+
+// Stage timing for the dispatch pipeline, one histogram series per
+// stage of Algorithm 1/3 and the baselines:
+//
+//	idle_scan   — collecting the frame's idle fleet
+//	pref_build  — cost/preference matrix construction (pref.NewInstance
+//	              or share.BuildMarket; the baselines' cost matrix is
+//	              its own cost_matrix stage)
+//	matching    — the stable matching (or baseline assignment) solve
+//	packing     — Algorithm 3's feasible-group + set-packing stage
+//
+// cmd/dispatchd folds these into /v1/report and cmd/taxisim into its
+// summary table.
+var stageHists = map[string]*obs.Histogram{
+	"idle_scan":   obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="idle_scan"}`),
+	"pref_build":  obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="pref_build"}`),
+	"cost_matrix": obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="cost_matrix"}`),
+	"matching":    obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="matching"}`),
+	"packing":     obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="packing"}`),
+}
+
+var obsAssignments = obs.GetOrCreateCounter("dispatch_assignments_total")
+
+// stageTimer starts a span against one of the named stage histograms.
+func stageTimer(stage string) obs.Timer { return obs.StartTimer(stageHists[stage]) }

@@ -1,0 +1,59 @@
+package dispatch
+
+import (
+	"testing"
+
+	"stabledispatch/internal/geo"
+	"stabledispatch/internal/obs"
+	"stabledispatch/internal/pref"
+	"stabledispatch/internal/share"
+	"stabledispatch/internal/sim"
+)
+
+// TestDispatchRecordsStageSpans runs one NSTD and one STD frame and
+// checks every pipeline stage histogram advanced.
+func TestDispatchRecordsStageSpans(t *testing.T) {
+	taxis, reqs := smallWorld(t, 11, 12, 30)
+	if len(reqs) == 0 {
+		t.Fatal("trace generated no requests")
+	}
+	frame := &sim.Frame{
+		Number:   0,
+		Requests: reqs,
+		Metric:   geo.EuclidMetric,
+		Params:   pref.DefaultParams(),
+	}
+	for _, taxi := range taxis {
+		frame.Taxis = append(frame.Taxis, sim.TaxiView{ID: taxi.ID, Pos: taxi.Pos, Seats: taxi.Seats, Idle: true})
+	}
+
+	counts := func() map[string]uint64 {
+		out := make(map[string]uint64, len(stageHists))
+		for stage, h := range stageHists {
+			out[stage] = h.Count()
+		}
+		return out
+	}
+
+	before := counts()
+	if _, err := NewNSTDP().Dispatch(frame); err != nil {
+		t.Fatalf("NSTD-P: %v", err)
+	}
+	if _, err := NewSTDP(share.DefaultPackConfig()).Dispatch(frame); err != nil {
+		t.Fatalf("STD-P: %v", err)
+	}
+	if _, err := NewGreedy().Dispatch(frame); err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	after := counts()
+	for _, stage := range []string{"idle_scan", "pref_build", "matching", "packing", "cost_matrix"} {
+		if after[stage] <= before[stage] {
+			t.Errorf("stage %q count did not advance: %d → %d", stage, before[stage], after[stage])
+		}
+	}
+
+	proposals := obs.GetOrCreateCounter("stable_gs_proposals_total")
+	if proposals.Value() == 0 {
+		t.Error("stable_gs_proposals_total = 0 after stable dispatches")
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default histogram bucket upper bounds, in seconds:
+// 10 µs to 10 s, a decade-and-halves ladder wide enough for both a
+// single Gale–Shapley stage and a whole paper-scale dispatch frame.
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket distribution, safe for concurrent use.
+// Observations land in the first bucket whose upper bound is ≥ the
+// value; values above every bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64       // finite upper bounds, ascending
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram buckets not ascending: %v", bounds))
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. It is a no-op while recording is disabled.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation inside the bucket holding the target rank. Values in
+// the +Inf bucket are attributed to the highest finite bound, so tail
+// quantiles are a lower-bound estimate there. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			hi := h.bounds[len(h.bounds)-1]
+			lo := 0.0
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if lo > hi {
+				lo = hi
+			}
+			frac := 1.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshot returns a consistent-enough copy of the cumulative bucket
+// counts for export (per-bucket loads; concurrent writers may skew the
+// totals by in-flight observations, which Prometheus tolerates).
+func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64, count uint64, sum float64) {
+	cumulative = make([]uint64, len(h.buckets))
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		cumulative[i] = cum
+	}
+	return h.bounds, cumulative, h.count.Load(), h.Sum()
+}
+
+// Timer measures one span into a histogram, in seconds:
+//
+//	defer obs.StartTimer(h).ObserveDuration()
+//
+// A timer started while recording is disabled (or with a nil histogram)
+// costs nothing and records nothing.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing a span against h.
+func StartTimer(h *Histogram) Timer {
+	if h == nil || !enabled.Load() {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// ObserveDuration records the elapsed time and returns it.
+func (t Timer) ObserveDuration() time.Duration {
+	if t.h == nil {
+		return 0
+	}
+	d := time.Since(t.start)
+	t.h.Observe(d.Seconds())
+	return d
+}

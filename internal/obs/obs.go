@@ -1,0 +1,150 @@
+// Package obs is the dispatch pipeline's observability substrate: a
+// dependency-free, concurrency-safe metrics registry with atomic
+// counters, gauges, and fixed-bucket latency histograms, plus a
+// Prometheus-text-format exporter. Every hot-path package (the sim
+// engine, the dispatchers, the stable-matching core, the set packer,
+// the road-network cache) registers its metrics here, and cmd/dispatchd
+// serves the whole registry at GET /v1/metrics.
+//
+// Metric names follow the Prometheus convention and may carry a fixed
+// label set inline, VictoriaMetrics-style:
+//
+//	obs.GetOrCreateCounter("roadnet_cache_hits_total")
+//	obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="matching"}`)
+//
+// The full string (base name plus optional {labels}) identifies one time
+// series; two calls with the same name return the same metric, so
+// packages can register at init time and increment lock-free afterwards.
+//
+// SetEnabled(false) turns every Inc/Add/Set/Observe into a no-op; the
+// benchmark suite uses it to prove the instrumentation overhead is
+// negligible, and operators can use it as a kill switch.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the global recording switch. Metrics are registered either
+// way; only the write paths are gated.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled switches metric recording on or off process-wide.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. Most code uses the process-wide Default registry through
+// the package-level GetOrCreate helpers.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]any // full name → *Counter | *Gauge | *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the instrumented
+// packages register into and cmd/dispatchd exports.
+func Default() *Registry { return defaultRegistry }
+
+// GetOrCreateCounter returns the counter registered under name in the
+// default registry, creating it on first use.
+func GetOrCreateCounter(name string) *Counter {
+	return defaultRegistry.GetOrCreateCounter(name)
+}
+
+// GetOrCreateGauge returns the gauge registered under name in the
+// default registry, creating it on first use.
+func GetOrCreateGauge(name string) *Gauge {
+	return defaultRegistry.GetOrCreateGauge(name)
+}
+
+// GetOrCreateHistogram returns the histogram registered under name in
+// the default registry, creating it with the given bucket upper bounds
+// (DefBuckets when omitted) on first use.
+func GetOrCreateHistogram(name string, buckets ...float64) *Histogram {
+	return defaultRegistry.GetOrCreateHistogram(name, buckets...)
+}
+
+// GetOrCreateCounter returns the counter registered under name,
+// creating it on first use. It panics if the name is malformed or
+// already registered as a different metric kind — both are programming
+// errors at instrumentation sites.
+func (r *Registry) GetOrCreateCounter(name string) *Counter {
+	return getOrCreate(r, name, func() *Counter { return &Counter{} })
+}
+
+// GetOrCreateGauge returns the gauge registered under name, creating it
+// on first use. Panics on malformed names and kind mismatches.
+func (r *Registry) GetOrCreateGauge(name string) *Gauge {
+	return getOrCreate(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// GetOrCreateHistogram returns the histogram registered under name,
+// creating it with the given bucket upper bounds (DefBuckets when
+// omitted) on first use. Buckets must be sorted ascending; the +Inf
+// bucket is implicit. Panics on malformed names and kind mismatches.
+func (r *Registry) GetOrCreateHistogram(name string, buckets ...float64) *Histogram {
+	return getOrCreate(r, name, func() *Histogram { return newHistogram(buckets) })
+}
+
+// getOrCreate resolves name to a metric of type T, registering a fresh
+// one on first use.
+func getOrCreate[T any](r *Registry, name string, make func() *T) *T {
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if ok {
+		return mustKind[T](name, m)
+	}
+	if _, _, err := parseName(name); err != nil {
+		panic(fmt.Sprintf("obs: invalid metric name %q: %v", name, err))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok { // lost the registration race
+		return mustKind[T](name, m)
+	}
+	v := make()
+	r.metrics[name] = v
+	return v
+}
+
+func mustKind[T any](name string, m any) *T {
+	v, ok := m.(*T)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return v
+}
+
+// Each calls fn for every registered metric in lexicographic name
+// order. The metric is one of *Counter, *Gauge, *Histogram.
+func (r *Registry) Each(fn func(name string, metric any)) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	metrics := make(map[string]any, len(names))
+	for name := range r.metrics {
+		metrics[name] = r.metrics[name]
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		fn(name, metrics[name])
+	}
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.GetOrCreateCounter("requests_total")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("Value = %d, want 42", got)
+	}
+	if again := r.GetOrCreateCounter("requests_total"); again != c {
+		t.Error("GetOrCreateCounter returned a different instance")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.GetOrCreateGauge("queue_depth")
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Errorf("Value = %v, want 7", got)
+	}
+	g.Add(-2.5)
+	if got := g.Value(); got != 4.5 {
+		t.Errorf("Value after Add = %v, want 4.5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.GetOrCreateHistogram("lat_seconds", 0.001, 0.01, 0.1, 1)
+	// 90 fast observations, 10 slow: p50 in the first bucket, p95+ in
+	// the last finite one.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	if want := 90*0.0005 + 10*0.5; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", h.Sum(), want)
+	}
+	if p50 := h.Quantile(0.50); p50 > 0.001 {
+		t.Errorf("p50 = %v, want ≤ 0.001", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 0.1 || p99 > 1 {
+		t.Errorf("p99 = %v, want in (0.1, 1]", p99)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewRegistry().GetOrCreateHistogram("empty_seconds")
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile on empty histogram = %v, want 0", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewRegistry().GetOrCreateHistogram("over_seconds", 0.1, 1)
+	h.Observe(100) // lands in +Inf
+	if got := h.Quantile(0.99); got != 1 {
+		t.Errorf("tail quantile = %v, want capped at highest bound 1", got)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	h := NewRegistry().GetOrCreateHistogram("span_seconds")
+	tm := StartTimer(h)
+	time.Sleep(time.Millisecond)
+	if d := tm.ObserveDuration(); d <= 0 {
+		t.Errorf("ObserveDuration = %v, want > 0", d)
+	}
+	if h.Count() != 1 {
+		t.Errorf("Count = %d, want 1", h.Count())
+	}
+	if nop := StartTimer(nil).ObserveDuration(); nop != 0 {
+		t.Errorf("nil-histogram timer recorded %v", nop)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GetOrCreateCounter("dual_use")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on kind mismatch")
+		}
+	}()
+	r.GetOrCreateGauge("dual_use")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	for _, name := range []string{
+		"", "1bad", "sp ace", "unterminated{a=\"b\"", `x{=""}`,
+		`x{a=b}`, `x{a="b` + "\n" + `"}`, "dash-ed",
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for name %q", name)
+				}
+			}()
+			NewRegistry().GetOrCreateCounter(name)
+		}()
+	}
+}
+
+func TestLabelValue(t *testing.T) {
+	name := `stage_seconds{stage="matching",algo="nstd-p"}`
+	if got := LabelValue(name, "stage"); got != "matching" {
+		t.Errorf("stage = %q", got)
+	}
+	if got := LabelValue(name, "algo"); got != "nstd-p" {
+		t.Errorf("algo = %q", got)
+	}
+	if got := LabelValue(name, "nope"); got != "" {
+		t.Errorf("absent label = %q, want empty", got)
+	}
+	if got := LabelValue("plain_total", "stage"); got != "" {
+		t.Errorf("unlabelled name = %q, want empty", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.GetOrCreateCounter("hits_total").Add(3)
+	r.GetOrCreateGauge("depth").Set(2.5)
+	h := r.GetOrCreateHistogram(`stage_seconds{stage="matching"}`, 0.01, 0.1)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE hits_total counter\nhits_total 3\n",
+		"# TYPE depth gauge\ndepth 2.5\n",
+		"# TYPE stage_seconds histogram\n",
+		`stage_seconds_bucket{stage="matching",le="0.01"} 1`,
+		`stage_seconds_bucket{stage="matching",le="0.1"} 2`,
+		`stage_seconds_bucket{stage="matching",le="+Inf"} 3`,
+		`stage_seconds_sum{stage="matching"} 5.055`,
+		`stage_seconds_count{stage="matching"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusGroupsTypeHeaders(t *testing.T) {
+	r := NewRegistry()
+	r.GetOrCreateCounter(`req_total{code="200"}`).Inc()
+	r.GetOrCreateCounter(`req_total{code="404"}`).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "# TYPE req_total counter"); got != 1 {
+		t.Errorf("TYPE header written %d times, want 1:\n%s", got, sb.String())
+	}
+}
+
+func TestHistogramSummaries(t *testing.T) {
+	r := NewRegistry()
+	a := r.GetOrCreateHistogram(`stage_seconds{stage="a"}`, 0.01, 0.1)
+	b := r.GetOrCreateHistogram(`stage_seconds{stage="b"}`, 0.01, 0.1)
+	r.GetOrCreateHistogram(`stage_seconds{stage="idle"}`) // never observed
+	r.GetOrCreateHistogram("other_seconds").Observe(1)
+	a.Observe(0.005)
+	a.Observe(0.005)
+	b.Observe(0.05)
+
+	got := r.HistogramSummaries("stage_seconds")
+	if len(got) != 2 {
+		t.Fatalf("got %d summaries, want 2: %+v", len(got), got)
+	}
+	if got[0].Label("stage") != "a" || got[0].Count != 2 {
+		t.Errorf("first summary = %+v", got[0])
+	}
+	if got[1].Label("stage") != "b" || got[1].Count != 1 {
+		t.Errorf("second summary = %+v", got[1])
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.GetOrCreateCounter("gated_total")
+	g := r.GetOrCreateGauge("gated_depth")
+	h := r.GetOrCreateHistogram("gated_seconds")
+	SetEnabled(false)
+	c.Inc()
+	g.Set(9)
+	h.Observe(1)
+	StartTimer(h).ObserveDuration()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Errorf("disabled recording still wrote: c=%d g=%v h=%d",
+			c.Value(), g.Value(), h.Count())
+	}
+	SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Errorf("re-enabled counter = %d, want 1", c.Value())
+	}
+}

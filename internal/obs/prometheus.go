@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// parseName splits a full metric name into its base name and the inner
+// label string (without braces), validating both. Accepted forms:
+//
+//	requests_total
+//	requests_total{code="200"}
+//	stage_seconds{stage="matching",algo="nstd-p"}
+//
+// Label values may not contain quotes, backslashes, or newlines — the
+// exporter writes them verbatim.
+func parseName(full string) (base, labels string, err error) {
+	base = full
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		if !strings.HasSuffix(full, "}") {
+			return "", "", fmt.Errorf("unterminated label block")
+		}
+		base, labels = full[:i], full[i+1:len(full)-1]
+	}
+	if !validBase(base) {
+		return "", "", fmt.Errorf("invalid base name %q", base)
+	}
+	if labels != "" {
+		for _, pair := range strings.Split(labels, ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !validBase(k) {
+				return "", "", fmt.Errorf("invalid label pair %q", pair)
+			}
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", fmt.Errorf("label value in %q must be quoted", pair)
+			}
+			if strings.ContainsAny(v[1:len(v)-1], "\"\\\n") {
+				return "", "", fmt.Errorf("label value in %q contains unsupported characters", pair)
+			}
+		}
+	}
+	return base, labels, nil
+}
+
+func validBase(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// LabelValue extracts the value of one label from a full metric name,
+// or "" when the label is absent.
+func LabelValue(full, key string) string {
+	_, labels, err := parseName(full)
+	if err != nil {
+		return ""
+	}
+	for _, pair := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if ok && k == key {
+			return strings.Trim(v, `"`)
+		}
+	}
+	return ""
+}
+
+// seriesName renders a base name with an optional label set, appending
+// extra as a final label when non-empty.
+func seriesName(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	default:
+		return base + "{" + labels + "," + extra + "}"
+	}
+}
+
+// WritePrometheus renders every registered metric of the default
+// registry in the Prometheus text exposition format.
+func WritePrometheus(w io.Writer) error { return defaultRegistry.WritePrometheus(w) }
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-buckets plus _sum and _count.
+// Series sharing a base name are grouped under one # TYPE header by the
+// sorted iteration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastTyped := ""
+	r.Each(func(name string, metric any) {
+		base, labels, err := parseName(name)
+		if err != nil {
+			return // unreachable: names are validated at registration
+		}
+		kind := ""
+		switch metric.(type) {
+		case *Counter:
+			kind = "counter"
+		case *Gauge:
+			kind = "gauge"
+		case *Histogram:
+			kind = "histogram"
+		}
+		if base != lastTyped {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, kind)
+			lastTyped = base
+		}
+		switch m := metric.(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "%s %d\n", name, m.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "%s %s\n", name, formatFloat(m.Value()))
+		case *Histogram:
+			bounds, cumulative, count, sum := m.snapshot()
+			for i, bound := range bounds {
+				le := `le="` + formatFloat(bound) + `"`
+				fmt.Fprintf(&b, "%s %d\n", seriesName(base+"_bucket", labels, le), cumulative[i])
+			}
+			fmt.Fprintf(&b, "%s %d\n", seriesName(base+"_bucket", labels, `le="+Inf"`), cumulative[len(cumulative)-1])
+			fmt.Fprintf(&b, "%s %s\n", seriesName(base+"_sum", labels, ""), formatFloat(sum))
+			fmt.Fprintf(&b, "%s %d\n", seriesName(base+"_count", labels, ""), count)
+		}
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistogramSummary condenses one histogram series for report payloads:
+// observation count, total, and interpolated quantiles (all in the
+// histogram's native unit — seconds for the stage timers).
+type HistogramSummary struct {
+	Name  string // full series name, labels included
+	Count uint64
+	Sum   float64
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
+// Label returns the value of one label of the summarised series.
+func (s HistogramSummary) Label(key string) string { return LabelValue(s.Name, key) }
+
+// HistogramSummaries summarises every histogram of the default registry
+// whose full name starts with prefix, in name order.
+func HistogramSummaries(prefix string) []HistogramSummary {
+	return defaultRegistry.HistogramSummaries(prefix)
+}
+
+// HistogramSummaries summarises every histogram whose full name starts
+// with prefix, in name order. Series with no observations are skipped.
+func (r *Registry) HistogramSummaries(prefix string) []HistogramSummary {
+	var out []HistogramSummary
+	r.Each(func(name string, metric any) {
+		h, ok := metric.(*Histogram)
+		if !ok || !strings.HasPrefix(name, prefix) {
+			return
+		}
+		count := h.Count()
+		if count == 0 {
+			return
+		}
+		out = append(out, HistogramSummary{
+			Name:  name,
+			Count: count,
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		})
+	})
+	return out
+}

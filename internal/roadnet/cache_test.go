@@ -1,0 +1,53 @@
+package roadnet
+
+import (
+	"testing"
+
+	"stabledispatch/internal/geo"
+)
+
+// TestCacheStatsFIFOEviction drives the Dijkstra memo through its FIFO
+// eviction policy with a capacity of 2 and checks every counter.
+func TestCacheStatsFIFOEviction(t *testing.T) {
+	g, err := NewGrid(GridConfig{Rows: 3, Cols: 3, Spacing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetric(g, 2)
+	node := func(i int) geo.Point { return g.Node(i) }
+
+	if got := m.CacheStats(); got != (CacheStats{}) {
+		t.Fatalf("fresh metric stats = %+v, want zero", got)
+	}
+
+	// Distinct sources 0, 1, 2: three misses; inserting source 2 evicts
+	// source 0 (FIFO).
+	m.Distance(node(0), node(5))
+	m.Distance(node(1), node(5))
+	m.Distance(node(2), node(5))
+	if got := m.CacheStats(); got.Misses != 3 || got.Hits != 0 || got.Evictions != 1 || got.Size != 2 {
+		t.Errorf("after 3 sources: %+v, want 3 misses, 1 eviction, size 2", got)
+	}
+
+	// Sources 1 and 2 are still cached: two hits, no new eviction. The
+	// reverse lookup (cached destination table) counts as a hit too.
+	m.Distance(node(1), node(7))
+	m.Distance(node(8), node(2))
+	if got := m.CacheStats(); got.Hits != 2 || got.Misses != 3 || got.Evictions != 1 {
+		t.Errorf("after cached sources: %+v, want 2 hits", got)
+	}
+
+	// Source 0 was evicted: a miss, and FIFO now evicts source 1.
+	m.Distance(node(0), node(5))
+	m.Distance(node(1), node(5))
+	if got := m.CacheStats(); got.Misses != 5 || got.Evictions != 3 || got.Size != 2 {
+		t.Errorf("after re-querying evicted sources: %+v, want 5 misses, 3 evictions", got)
+	}
+
+	// Same-node queries short-circuit before the cache.
+	before := m.CacheStats()
+	m.Distance(node(4), node(4))
+	if got := m.CacheStats(); got != before {
+		t.Errorf("same-node query changed stats: %+v → %+v", before, got)
+	}
+}

@@ -5,7 +5,17 @@ import (
 	"sync"
 
 	"stabledispatch/internal/geo"
+	"stabledispatch/internal/obs"
 	"stabledispatch/internal/spatial"
+)
+
+// Cache telemetry shared by every Metric instance in the process; the
+// per-instance breakdown is available through CacheStats.
+var (
+	obsCacheHits      = obs.GetOrCreateCounter("roadnet_cache_hits_total")
+	obsCacheMisses    = obs.GetOrCreateCounter("roadnet_cache_misses_total")
+	obsCacheEvictions = obs.GetOrCreateCounter("roadnet_cache_evictions_total")
+	obsCacheSize      = obs.GetOrCreateGauge("roadnet_cache_size")
 )
 
 // Metric adapts a Graph to the geo.Metric interface. Arbitrary points are
@@ -25,6 +35,30 @@ type Metric struct {
 	cache    map[int][]float64
 	order    []int // FIFO eviction order of cached sources
 	capacity int
+
+	hits, misses, evictions uint64 // guarded by mu
+}
+
+// CacheStats is a point-in-time view of the Dijkstra memo: cumulative
+// hits/misses/evictions and the current number of cached source tables.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Size      int
+}
+
+// CacheStats returns the metric's cache counters. Same-node queries
+// short-circuit before the cache and are not counted.
+func (m *Metric) CacheStats() CacheStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return CacheStats{
+		Hits:      m.hits,
+		Misses:    m.misses,
+		Evictions: m.evictions,
+		Size:      len(m.cache),
+	}
 }
 
 var _ geo.Metric = (*Metric)(nil)
@@ -95,19 +129,28 @@ func (m *Metric) nodeDistance(u, v int) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if d, ok := m.cache[u]; ok {
+		m.hits++
+		obsCacheHits.Inc()
 		return d[v]
 	}
 	if d, ok := m.cache[v]; ok {
+		m.hits++
+		obsCacheHits.Inc()
 		return d[u]
 	}
+	m.misses++
+	obsCacheMisses.Inc()
 	dist := m.graph.ShortestDistances(u)
 	if len(m.cache) >= m.capacity {
 		oldest := m.order[0]
 		m.order = m.order[1:]
 		delete(m.cache, oldest)
+		m.evictions++
+		obsCacheEvictions.Inc()
 	}
 	m.cache[u] = dist
 	m.order = append(m.order, u)
+	obsCacheSize.Set(float64(len(m.cache)))
 	return dist[v]
 }
 

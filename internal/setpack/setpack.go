@@ -19,6 +19,16 @@ package setpack
 import (
 	"fmt"
 	"sort"
+
+	"stabledispatch/internal/obs"
+)
+
+// Local-search telemetry: passes are full improvement sweeps until the
+// fixed point, moves are accepted (0,1)-additions and (1,2)-exchanges.
+// Counts are accumulated locally and published once per solve.
+var (
+	obsLSPasses = obs.GetOrCreateCounter("setpack_localsearch_passes_total")
+	obsLSMoves  = obs.GetOrCreateCounter("setpack_localsearch_moves_total")
 )
 
 // Problem is an MSPP instance over the universe {0, …, N-1}.
@@ -129,9 +139,15 @@ func LocalSearch(p Problem) []int {
 		}
 	}
 
+	passes, moves := uint64(0), uint64(0)
+	defer func() {
+		obsLSPasses.Add(passes)
+		obsLSMoves.Add(moves)
+	}()
 	improved := true
 	for improved {
 		improved = false
+		passes++
 
 		// conflictsOf returns the distinct chosen sets overlapping s.
 		conflictsOf := func(s []int) []int {
@@ -154,6 +170,7 @@ func LocalSearch(p Problem) []int {
 				used[e] = k
 			}
 			improved = true
+			moves++
 		}
 
 		// (1,2)-moves: for each chosen set c, collect candidate sets
@@ -208,6 +225,7 @@ func LocalSearch(p Problem) []int {
 				}
 			}
 			improved = true
+			moves++
 		}
 	}
 

@@ -70,6 +70,7 @@ func (s *JSONLSink) Record(e Event) {
 	}
 	if err := s.enc.Encode(e); err != nil {
 		s.err = fmt.Errorf("sim: event sink: %w", err)
+		obsEventSinkErrors.Inc()
 	}
 }
 
@@ -91,8 +92,11 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 	return events, nil
 }
 
-// emit forwards an event to the configured sink, if any.
+// emit counts an event and forwards it to the configured sink, if any.
 func (s *Simulator) emit(e Event) {
+	if c := obsEvents[e.Kind]; c != nil {
+		c.Inc()
+	}
 	if s.cfg.Events != nil {
 		s.cfg.Events.Record(e)
 	}

@@ -161,3 +161,40 @@ func TestFullSimulationEventStream(t *testing.T) {
 		t.Errorf("event counts = %v for %d served", perKind, served)
 	}
 }
+
+func TestRunSurfacesEventSinkError(t *testing.T) {
+	reqs := []fleet.Request{{
+		ID: 1, Pickup: geo.Point{X: 2}, Dropoff: geo.Point{X: 5}, Frame: 0,
+	}}
+	sink := NewJSONLSink(failingWriter{})
+	cfg := simpleConfig(nearestDispatcher{})
+	cfg.Events = sink
+	s, err := New(cfg, singleTaxi(geo.Point{}), reqs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.EventSinkErr == nil {
+		t.Fatal("Report.EventSinkErr = nil, want the sink's sticky error")
+	}
+	if !strings.Contains(rep.EventSinkErr.Error(), "disk full") {
+		t.Errorf("EventSinkErr = %v, want the underlying write error", rep.EventSinkErr)
+	}
+	// A healthy sink reports no error.
+	var buf bytes.Buffer
+	cfg.Events = NewJSONLSink(&buf)
+	s2, err := New(cfg, singleTaxi(geo.Point{}), reqs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep2, err := s2.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep2.EventSinkErr != nil {
+		t.Errorf("healthy sink EventSinkErr = %v, want nil", rep2.EventSinkErr)
+	}
+}

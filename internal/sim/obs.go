@@ -1,0 +1,21 @@
+package sim
+
+import "stabledispatch/internal/obs"
+
+// Engine telemetry: per-frame dispatch latency (the Dispatcher call
+// plus assignment validation, the tunable part of a frame), pending-
+// queue depth after dispatch, and lifecycle event counts.
+var (
+	obsFrames          = obs.GetOrCreateCounter("sim_frames_total")
+	obsDispatchSeconds = obs.GetOrCreateHistogram("sim_dispatch_frame_seconds")
+	obsPendingDepth    = obs.GetOrCreateGauge("sim_pending_requests")
+	obsEventSinkErrors = obs.GetOrCreateCounter("sim_event_sink_errors_total")
+
+	obsEvents = map[EventKind]*obs.Counter{
+		EventRequest: obs.GetOrCreateCounter(`sim_events_total{kind="request"}`),
+		EventAssign:  obs.GetOrCreateCounter(`sim_events_total{kind="assign"}`),
+		EventPickup:  obs.GetOrCreateCounter(`sim_events_total{kind="pickup"}`),
+		EventDropoff: obs.GetOrCreateCounter(`sim_events_total{kind="dropoff"}`),
+		EventAbandon: obs.GetOrCreateCounter(`sim_events_total{kind="abandon"}`),
+	}
+)

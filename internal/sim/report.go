@@ -51,6 +51,11 @@ type Report struct {
 	Requests    []RequestOutcome
 	Episodes    []EpisodeOutcome
 	Assignments []AssignmentOutcome
+	// EventSinkErr is the sticky error of the configured event sink, if
+	// the sink exposes Err() error (JSONLSink does) and it failed
+	// mid-run. The simulation itself still completed; only the emitted
+	// event stream is incomplete.
+	EventSinkErr error
 }
 
 // DispatchDelays returns the delay (minutes) of every served request.

@@ -12,10 +12,12 @@ package sim
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
+	"stabledispatch/internal/obs"
 	"stabledispatch/internal/pref"
 )
 
@@ -315,11 +317,16 @@ func (s *Simulator) Done() bool {
 func (s *Simulator) Step() error {
 	s.releaseArrivals()
 	s.expireImpatient()
-	if err := s.dispatch(); err != nil {
+	tm := obs.StartTimer(obsDispatchSeconds)
+	err := s.dispatch()
+	tm.ObserveDuration()
+	if err != nil {
 		return err
 	}
+	obsPendingDepth.Set(float64(len(s.pending)))
 	s.moveTaxis()
 	s.frame++
+	obsFrames.Inc()
 	return nil
 }
 
@@ -374,7 +381,14 @@ func (s *Simulator) Run() (*Report, error) {
 			s.closeEpisode(t)
 		}
 	}
-	return s.buildReport(), nil
+	rep := s.buildReport()
+	// A sticky event-sink failure must not pass silently: the replay
+	// stream is incomplete even though the run itself succeeded.
+	if rep.EventSinkErr != nil {
+		slog.Warn("sim: event sink failed, replay stream incomplete",
+			"dispatcher", s.cfg.Dispatcher.Name(), "err", rep.EventSinkErr)
+	}
+	return rep, nil
 }
 
 func (s *Simulator) releaseArrivals() {
@@ -688,6 +702,11 @@ func (s *Simulator) buildReport() *Report {
 		Frames:      s.frame,
 		Episodes:    s.episodes,
 		Assignments: s.assignments,
+	}
+	// Surface a sticky sink failure (JSONLSink and friends) so broken
+	// event streams are visible instead of silently truncated.
+	if es, ok := s.cfg.Events.(interface{ Err() error }); ok {
+		rep.EventSinkErr = es.Err()
 	}
 	for _, r := range s.arrival {
 		rs := s.reqs[r.ID]

@@ -109,6 +109,7 @@ func (s gsState) clone() gsState {
 // dummy are never dispatched (Property 1).
 func PassengerOptimal(mk *pref.Market) Matching {
 	state, _ := passengerOptimalState(mk, nil)
+	obsMatchings.Inc()
 	return state.match
 }
 
@@ -138,6 +139,11 @@ func passengerOptimalState(mk *pref.Market, prefs [][]int) (gsState, [][]int) {
 // its preference list; a displaced request immediately re-proposes
 // (iteratively rather than recursively).
 func propose(mk *pref.Market, prefs [][]int, s *gsState, j int) {
+	proposals, displacements := uint64(0), uint64(0)
+	defer func() {
+		obsProposals.Add(proposals)
+		obsDisplacements.Add(displacements)
+	}()
 	active := j
 	for {
 		if s.next[active] >= len(prefs[active]) {
@@ -147,6 +153,7 @@ func propose(mk *pref.Market, prefs [][]int, s *gsState, j int) {
 		}
 		i := prefs[active][s.next[active]]
 		s.next[active]++
+		proposals++
 
 		cur := s.match.TaxiPartner[i]
 		if cur == Unmatched {
@@ -163,6 +170,7 @@ func propose(mk *pref.Market, prefs [][]int, s *gsState, j int) {
 			s.match.TaxiPartner[i] = active
 			s.match.ReqPartner[active] = i
 			s.match.ReqPartner[cur] = Unmatched
+			displacements++
 			active = cur
 			continue
 		}
@@ -185,6 +193,7 @@ func TaxiOptimal(mk *pref.Market) Matching {
 	}
 	match := NewMatching(r, t)
 	next := make([]int, t)
+	proposals, displacements := uint64(0), uint64(0)
 	for i := 0; i < t; i++ {
 		active := i
 		for {
@@ -194,6 +203,7 @@ func TaxiOptimal(mk *pref.Market) Matching {
 			}
 			j := prefs[active][next[active]]
 			next[active]++
+			proposals++
 
 			cur := match.ReqPartner[j]
 			if cur == Unmatched {
@@ -205,11 +215,15 @@ func TaxiOptimal(mk *pref.Market) Matching {
 				match.ReqPartner[j] = active
 				match.TaxiPartner[active] = j
 				match.TaxiPartner[cur] = Unmatched
+				displacements++
 				active = cur
 				continue
 			}
 		}
 	}
+	obsProposals.Add(proposals)
+	obsDisplacements.Add(displacements)
+	obsMatchings.Inc()
 	return match
 }
 
