@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"stabledispatch/internal/dispatch"
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/geo"
+	"stabledispatch/internal/pref"
+	"stabledispatch/internal/sim"
+)
+
+// FuzzRequestDecode drives arbitrary bytes through the POST
+// /v1/requests decoder behind the production middleware chain. The
+// handler must never panic and must answer only 201 (accepted), 400
+// (malformed), or 413 (over the body cap).
+func FuzzRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"pickup":{"x":1,"y":2},"dropoff":{"x":3,"y":4},"seats":1}`))
+	f.Add([]byte(`{"pickup":{"x":1e308,"y":-1e308},"dropoff":{},"seats":6}`))
+	f.Add([]byte(`{"seats":-1}`))
+	f.Add([]byte(`{"seats":7}`))
+	f.Add([]byte(`{"pickup":`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"pickup":{"x":"NaN"}}`))
+	f.Add(bytes.Repeat([]byte(`{"pickup":{"x":1}}`), 1000))
+
+	taxis := []fleet.Taxi{
+		{ID: 0, Pos: geo.Point{X: 10, Y: 10}},
+		{ID: 1, Pos: geo.Point{X: 11, Y: 10}},
+	}
+	s, err := sim.New(sim.Config{
+		Params:     pref.Unbounded(),
+		Dispatcher: dispatch.NewGreedy(),
+		SpeedKmH:   60,
+	}, taxis, nil)
+	if err != nil {
+		f.Fatalf("sim.New: %v", err)
+	}
+	handler := withBodyLimit(newServer(s).handler())
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/requests", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req) // a panic fails the fuzz run
+		switch rec.Code {
+		case http.StatusCreated, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		default:
+			t.Fatalf("status %d for body %q", rec.Code, body)
+		}
+	})
+}

@@ -7,13 +7,15 @@
 //
 // API:
 //
-//	POST /v1/requests       {"pickup":{"x":1,"y":2},"dropoff":{"x":3,"y":4},"seats":1}
-//	POST /v1/tick           {"frames":1}
-//	GET  /v1/taxis
-//	GET  /v1/requests/{id}
-//	GET  /v1/report
-//	GET  /v1/metrics        Prometheus text format
-//	GET  /healthz
+//	POST   /v1/requests       {"pickup":{"x":1,"y":2},"dropoff":{"x":3,"y":4},"seats":1}
+//	DELETE /v1/requests/{id}  passenger cancellation (before pickup)
+//	POST   /v1/tick           {"frames":1}
+//	POST   /v1/chaos          {"kind":"outage"|"breakdown","taxiId":3,"frames":30}
+//	GET    /v1/taxis
+//	GET    /v1/requests/{id}
+//	GET    /v1/report
+//	GET    /v1/metrics        Prometheus text format
+//	GET    /healthz
 //
 // With -debug-addr a second listener serves net/http/pprof under
 // /debug/pprof/, kept off the public API address on purpose.
@@ -58,6 +60,7 @@ func run(args []string) error {
 		auto     = fs.Duration("auto", 0, "advance one frame automatically at this interval (0 = manual /v1/tick only)")
 		debug    = fs.String("debug-addr", "", "optional extra listener for net/http/pprof (e.g. localhost:6060; empty = disabled)")
 		quiet    = fs.Bool("quiet", false, "suppress per-request access logging")
+		frameDDL = fs.Duration("frame-deadline", 0, "per-frame dispatch compute deadline; overruns and panics degrade to greedy (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +83,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *frameDDL > 0 {
+		d = dispatch.NewResilient(d, nil, *frameDDL)
+	}
 	events := newEventBuffer(10000)
 	s, err := sim.New(sim.Config{
 		Params:     pref.DefaultParams(),
@@ -96,11 +102,18 @@ func run(args []string) error {
 		accessLogger = nil
 	}
 
+	// Middleware order: metrics/logging outermost (a recovered panic is
+	// still logged with its 500), then panic recovery, then the body cap.
 	server := newServer(s).withEvents(events)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           withObs(accessLogger, server.handler()),
+		Handler:           withObs(accessLogger, withRecovery(logger, withBodyLimit(server.handler()))),
 		ReadHeaderTimeout: 5 * time.Second,
+		// Bound slow-loris reads and wedged writes; WriteTimeout leaves
+		// room for a large manual /v1/tick batch on the paper-scale
+		// fleet.
+		ReadTimeout:  15 * time.Second,
+		WriteTimeout: 120 * time.Second,
 	}
 
 	// Profiling stays on its own listener so it is never reachable

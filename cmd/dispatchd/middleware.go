@@ -12,6 +12,46 @@ import (
 // obsHTTPSeconds times every API request end to end, across all routes.
 var obsHTTPSeconds = obs.GetOrCreateHistogram("http_request_seconds")
 
+// obsHTTPPanics counts handler panics converted into JSON 500s.
+var obsHTTPPanics = obs.GetOrCreateCounter("http_panics_total")
+
+// maxBodyBytes caps request bodies; every API payload is a few hundred
+// bytes, so a megabyte is generous and keeps a hostile client from
+// streaming unbounded JSON into the decoder.
+const maxBodyBytes = 1 << 20
+
+// withRecovery converts a handler panic into a JSON 500 instead of
+// letting net/http kill the connection, so one poisoned request cannot
+// take down an operator's session mid-incident. If the handler already
+// wrote a partial response the 500 header is lost, but the panic is
+// still logged and counted.
+func withRecovery(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				obsHTTPPanics.Inc()
+				if logger != nil {
+					logger.Error("handler panic",
+						"method", r.Method, "path", r.URL.Path, "panic", rec)
+				}
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal server error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withBodyLimit installs http.MaxBytesReader on every request body;
+// decodeBody maps the resulting error to 413.
+func withBodyLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
 // statusWriter captures the status code a handler writes so the access
 // log and the per-code request counter can report it.
 type statusWriter struct {

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"stabledispatch/internal/fleet"
@@ -48,6 +50,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/taxis", s.getTaxis)
 	mux.HandleFunc("GET /v1/report", s.getReport)
 	mux.HandleFunc("GET /v1/requests/{id}", s.getRequest)
+	mux.HandleFunc("DELETE /v1/requests/{id}", s.deleteRequest)
+	mux.HandleFunc("POST /v1/chaos", s.postChaos)
 	mux.HandleFunc("GET /v1/events", s.getEvents)
 	mux.HandleFunc("GET /v1/metrics", s.getMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -73,10 +77,24 @@ type requestOut struct {
 	Frame int `json:"frame"`
 }
 
+// decodeBody decodes a JSON request body, mapping an over-limit body
+// (the MaxBytesReader installed by withBodyLimit) to 413 and any other
+// decode failure to 400. A zero status means success.
+func decodeBody(r *http.Request, v any) (int, error) {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("decode: %w", err)
+	}
+	return 0, nil
+}
+
 func (s *server) postRequest(w http.ResponseWriter, r *http.Request) {
 	var in requestIn
-	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if code, err := decodeBody(r, &in); code != 0 {
+		writeError(w, code, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if in.Seats < 0 || in.Seats > 6 {
@@ -108,8 +126,8 @@ type tickIn struct {
 func (s *server) postTick(w http.ResponseWriter, r *http.Request) {
 	var in tickIn
 	if r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decode tick: %w", err))
+		if code, err := decodeBody(r, &in); code != 0 {
+			writeError(w, code, fmt.Errorf("decode tick: %w", err))
 			return
 		}
 	}
@@ -245,42 +263,139 @@ type requestStatusOut struct {
 	AssignFrame  int    `json:"assignFrame"`
 	PickupFrame  int    `json:"pickupFrame"`
 	DropoffFrame int    `json:"dropoffFrame"`
+	Rescued      bool   `json:"rescued,omitempty"`
+	Requeues     int    `json:"requeues,omitempty"`
+}
+
+// requestStatus collapses a lifecycle record into one API status word.
+func requestStatus(o sim.RequestOutcome) string {
+	switch {
+	case o.Cancelled:
+		return "cancelled"
+	case o.Abandoned:
+		return "abandoned"
+	case o.DropoffFrame >= 0:
+		return "completed"
+	case o.PickupFrame >= 0:
+		return "riding"
+	case o.Served:
+		return "assigned"
+	default:
+		return "pending"
+	}
+}
+
+// pathID parses the {id} path segment strictly: fmt.Sscanf("%d") would
+// accept trailing junk ("/v1/requests/12abc" → 12), strconv.Atoi does
+// not.
+func pathID(r *http.Request) (int, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return 0, fmt.Errorf("bad request id %q", r.PathValue("id"))
+	}
+	return id, nil
 }
 
 func (s *server) getRequest(w http.ResponseWriter, r *http.Request) {
-	var id int
-	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request id: %w", err))
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
-	rep := s.sim.Snapshot()
+	o, ok := s.sim.RequestOutcome(id)
 	s.mu.Unlock()
-	for _, o := range rep.Requests {
-		if o.ID != id {
-			continue
-		}
-		status := "pending"
-		switch {
-		case o.DropoffFrame >= 0:
-			status = "completed"
-		case o.PickupFrame >= 0:
-			status = "riding"
-		case o.Served:
-			status = "assigned"
-		}
-		writeJSON(w, http.StatusOK, requestStatusOut{
-			ID:           o.ID,
-			Status:       status,
-			TaxiID:       o.TaxiID,
-			ArrivalFrame: o.ArrivalFrame,
-			AssignFrame:  o.AssignFrame,
-			PickupFrame:  o.PickupFrame,
-			DropoffFrame: o.DropoffFrame,
-		})
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("request %d not found", id))
 		return
 	}
-	writeError(w, http.StatusNotFound, fmt.Errorf("request %d not found", id))
+	writeJSON(w, http.StatusOK, requestStatusOut{
+		ID:           o.ID,
+		Status:       requestStatus(o),
+		TaxiID:       o.TaxiID,
+		ArrivalFrame: o.ArrivalFrame,
+		AssignFrame:  o.AssignFrame,
+		PickupFrame:  o.PickupFrame,
+		DropoffFrame: o.DropoffFrame,
+		Rescued:      o.Rescued,
+		Requeues:     o.Requeues,
+	})
+}
+
+// deleteRequest is the passenger-cancellation endpoint: it withdraws a
+// pending or assigned request, unwinding the assignment if one exists.
+func (s *server) deleteRequest(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	err = s.sim.CancelRequest(id)
+	s.mu.Unlock()
+	switch {
+	case errors.Is(err, sim.ErrUnknownRequest):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, sim.ErrNotCancellable):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": "cancelled"})
+	}
+}
+
+type chaosIn struct {
+	// Kind is "outage" (taxi refuses new work for a window, finishing
+	// its current fare) or "breakdown" (taxi dies on the spot: route
+	// unwound, riders rescued).
+	Kind   string `json:"kind"`
+	TaxiID int    `json:"taxiId"`
+	// From is the outage start frame (outages only; defaults to the
+	// current frame).
+	From int `json:"from"`
+	// Frames is the fault duration (defaults to 30).
+	Frames int `json:"frames"`
+}
+
+// postChaos injects an outage or breakdown into the live simulation, so
+// operators can rehearse fleet failures against the running dispatcher.
+func (s *server) postChaos(w http.ResponseWriter, r *http.Request) {
+	var in chaosIn
+	if code, err := decodeBody(r, &in); code != 0 {
+		writeError(w, code, fmt.Errorf("decode chaos: %w", err))
+		return
+	}
+	if in.Frames <= 0 {
+		in.Frames = sim.DefaultRepairFrames
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	frame := s.sim.Frame()
+	switch in.Kind {
+	case "outage":
+		from := in.From
+		if from < frame {
+			from = frame
+		}
+		if err := s.sim.InjectOutage(in.TaxiID, from, from+in.Frames); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"kind": "outage", "taxiId": in.TaxiID, "from": from, "to": from + in.Frames,
+		})
+	case "breakdown":
+		if err := s.sim.InjectBreakdown(in.TaxiID, in.Frames); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"kind": "breakdown", "taxiId": in.TaxiID, "from": frame, "to": frame + in.Frames,
+		})
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown chaos kind %q (want outage or breakdown)", in.Kind))
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -350,10 +465,12 @@ func (s *server) getEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	since := 0
 	if q := r.URL.Query().Get("since"); q != "" {
-		if _, err := fmt.Sscanf(q, "%d", &since); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q", q))
 			return
 		}
+		since = n
 	}
 	out := s.events.Since(since)
 	if out == nil {

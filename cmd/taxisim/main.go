@@ -19,6 +19,7 @@ import (
 
 	"stabledispatch/internal/carpool"
 	"stabledispatch/internal/dispatch"
+	"stabledispatch/internal/fault"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/obs"
 	"stabledispatch/internal/pref"
@@ -49,9 +50,35 @@ func run(args []string, out io.Writer) error {
 		speed     = fs.Float64("speed", 20, "taxi speed in km/h")
 		patience  = fs.Int("patience", 0, "minutes a passenger waits before abandoning (0 = forever)")
 		eventPath = fs.String("events", "", "write a JSONL lifecycle event log to this file")
+
+		faultSeed     = fs.Int64("fault-seed", 0, "seed for the fault-injection schedule (0 = derive from -seed)")
+		breakdownRate = fs.Float64("breakdown-rate", 0, "per-frame probability a busy taxi breaks down mid-route")
+		cancelRate    = fs.Float64("cancel-rate", 0, "probability a passenger cancels before pickup")
+		driverCancel  = fs.Float64("driver-cancel-rate", 0, "probability a driver abandons an accepted fare before pickup")
+		frameDDL      = fs.Duration("frame-deadline", 0, "per-frame dispatch compute deadline; overruns and panics degrade to greedy (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var faults sim.FaultInjector
+	// != 0, not > 0: a negative rate must reach fault.Config.Validate
+	// and be rejected, not silently disable injection.
+	if *breakdownRate != 0 || *cancelRate != 0 || *driverCancel != 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		sched, err := fault.New(fault.Config{
+			Seed:                fseed,
+			BreakdownRate:       *breakdownRate,
+			PassengerCancelRate: *cancelRate,
+			DriverCancelRate:    *driverCancel,
+		})
+		if err != nil {
+			return err
+		}
+		faults = sched
 	}
 
 	city, defTaxis, defVolume, err := cityByName(*cityName)
@@ -119,12 +146,16 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *frameDDL > 0 {
+			d = dispatch.NewResilient(d, nil, *frameDDL)
+		}
 		s, err := sim.New(sim.Config{
 			SpeedKmH:       *speed,
 			Params:         pref.DefaultParams(),
 			Dispatcher:     d,
 			PatienceFrames: *patience,
 			Events:         events,
+			Faults:         faults,
 		}, fleetTaxis, reqs)
 		if err != nil {
 			return err
@@ -242,6 +273,12 @@ func printSummary(w io.Writer, rep *sim.Report, total, taxis int) error {
 	if _, err := fmt.Fprintf(w, "  served %d/%d (%d unserved, %d abandoned), %d episodes, %d shared rides\n",
 		rep.ServedCount(), total, rep.UnservedCount(), rep.AbandonedCount(), len(rep.Episodes), rep.SharedRideCount()); err != nil {
 		return err
+	}
+	if n := rep.CancelledCount() + rep.RescuedCount() + rep.RequeueCount(); n > 0 {
+		if _, err := fmt.Fprintf(w, "  faults: %d cancelled, %d rescued riders, %d re-dispatch attempts\n",
+			rep.CancelledCount(), rep.RescuedCount(), rep.RequeueCount()); err != nil {
+			return err
+		}
 	}
 	return printStageTimings(w)
 }

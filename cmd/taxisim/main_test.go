@@ -126,3 +126,66 @@ func TestRunWritesEventLog(t *testing.T) {
 		t.Errorf("event log missing assign events:\n%.300s", data)
 	}
 }
+
+func TestRunWithFaultInjection(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "nstd-p", "-taxis", "15", "-frames", "40",
+		"-volume", "2000", "-seed", "3", "-patience", "30",
+		"-fault-seed", "7", "-breakdown-rate", "0.01",
+		"-cancel-rate", "0.1", "-driver-cancel-rate", "0.05",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run with faults: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "faults:") {
+		t.Errorf("summary missing faults line:\n%s", out)
+	}
+
+	// The same seeded chaos run twice produces the same summary.
+	var sb2 strings.Builder
+	if err := run([]string{
+		"-algo", "nstd-p", "-taxis", "15", "-frames", "40",
+		"-volume", "2000", "-seed", "3", "-patience", "30",
+		"-fault-seed", "7", "-breakdown-rate", "0.01",
+		"-cancel-rate", "0.1", "-driver-cancel-rate", "0.05",
+	}, &sb2); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	// The stage-timing table is wall-clock and differs run to run;
+	// compare only up to it.
+	cut := func(s string) string {
+		if i := strings.Index(s, "dispatch pipeline stage timings"); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	if cut(sb.String()) != cut(sb2.String()) {
+		t.Errorf("seeded fault runs diverged:\n%s\n----\n%s", cut(sb.String()), cut(sb2.String()))
+	}
+}
+
+func TestRunWithFrameDeadline(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "nstd-p", "-taxis", "8", "-frames", "15",
+		"-volume", "1000", "-seed", "4", "-frame-deadline", "5s",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run with frame deadline: %v", err)
+	}
+	if !strings.Contains(sb.String(), "NSTD-P+failsafe") {
+		t.Errorf("summary missing failsafe algorithm name:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsBadFaultConfig(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-breakdown-rate", "1.5"}, &sb); err == nil {
+		t.Error("accepted breakdown rate > 1")
+	}
+	if err := run([]string{"-cancel-rate", "-0.1"}, &sb); err == nil {
+		t.Error("accepted negative cancel rate")
+	}
+}

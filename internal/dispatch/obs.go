@@ -24,5 +24,13 @@ var stageHists = map[string]*obs.Histogram{
 
 var obsAssignments = obs.GetOrCreateCounter("dispatch_assignments_total")
 
+// obsDegraded counts frames the Resilient wrapper handed to its
+// fallback dispatcher, by cause.
+var obsDegraded = map[string]*obs.Counter{
+	"deadline": obs.GetOrCreateCounter(`dispatch_degraded_frames_total{reason="deadline"}`),
+	"panic":    obs.GetOrCreateCounter(`dispatch_degraded_frames_total{reason="panic"}`),
+	"error":    obs.GetOrCreateCounter(`dispatch_degraded_frames_total{reason="error"}`),
+}
+
 // stageTimer starts a span against one of the named stage histograms.
 func stageTimer(stage string) obs.Timer { return obs.StartTimer(stageHists[stage]) }

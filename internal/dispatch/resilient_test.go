@@ -1,0 +1,180 @@
+package dispatch
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/geo"
+	"stabledispatch/internal/pref"
+	"stabledispatch/internal/sim"
+)
+
+// fakeDispatcher misbehaves on demand: sleeps past the deadline,
+// panics, or fails — while recording whether it was invoked.
+type fakeDispatcher struct {
+	name   string
+	sleep  time.Duration
+	panics bool
+	err    error
+	out    []fleet.Assignment
+	calls  int
+}
+
+func (d *fakeDispatcher) Name() string { return d.name }
+
+func (d *fakeDispatcher) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
+	d.calls++
+	if d.sleep > 0 {
+		time.Sleep(d.sleep)
+	}
+	if d.panics {
+		panic("synthetic dispatcher explosion")
+	}
+	return d.out, d.err
+}
+
+// resilientFrame is a one-request, one-idle-taxi frame on which Greedy
+// deterministically assigns taxi 3 to request 1.
+func resilientFrame() *sim.Frame {
+	return &sim.Frame{
+		Number:   0,
+		Requests: []fleet.Request{{ID: 1, Pickup: geo.Point{X: 1}, Dropoff: geo.Point{X: 2}, Seats: 1}},
+		Taxis:    []sim.TaxiView{{ID: 3, Pos: geo.Point{}, Seats: 3, Idle: true}},
+		Metric:   geo.EuclidMetric,
+		Params:   pref.DefaultParams(),
+	}
+}
+
+func degradedCount(reason string) uint64 { return obsDegraded[reason].Value() }
+
+func TestResilientHealthyPrimaryPassesThrough(t *testing.T) {
+	want := []fleet.Assignment{{TaxiID: 99, Requests: []int{1}}}
+	primary := &fakeDispatcher{name: "ok", out: want}
+	fallback := &fakeDispatcher{name: "never"}
+	r := NewResilient(primary, fallback, time.Second)
+	before := degradedCount("deadline") + degradedCount("panic") + degradedCount("error")
+	got, err := r.Dispatch(resilientFrame())
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if len(got) != 1 || got[0].TaxiID != 99 {
+		t.Fatalf("got %+v, want the primary's assignment", got)
+	}
+	if fallback.calls != 0 {
+		t.Error("fallback invoked on a healthy frame")
+	}
+	after := degradedCount("deadline") + degradedCount("panic") + degradedCount("error")
+	if after != before {
+		t.Errorf("degraded counter moved %d→%d on a healthy frame", before, after)
+	}
+	if r.Name() != "ok+failsafe" {
+		t.Errorf("Name() = %q", r.Name())
+	}
+}
+
+func TestResilientDeadlineDegradesToFallback(t *testing.T) {
+	const deadline = 30 * time.Millisecond
+	primary := &fakeDispatcher{name: "slow", sleep: 2 * time.Second}
+	r := NewResilient(primary, nil, deadline) // nil fallback → Greedy
+	before := degradedCount("deadline")
+	start := time.Now()
+	got, err := r.Dispatch(resilientFrame())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	// The frame still completes: Greedy assigns the only idle taxi.
+	if len(got) != 1 || got[0].TaxiID != 3 || len(got[0].Requests) != 1 || got[0].Requests[0] != 1 {
+		t.Fatalf("fallback assignments = %+v, want taxi 3 → request 1", got)
+	}
+	if degradedCount("deadline") != before+1 {
+		t.Error("dispatch_degraded_frames_total{reason=\"deadline\"} not incremented")
+	}
+	// Frame latency is bounded by the deadline plus the fallback's
+	// (near-instant on one taxi) cost — nowhere near the primary's 2s.
+	if elapsed > deadline+500*time.Millisecond {
+		t.Errorf("frame took %v, want ≈ deadline %v + fallback cost", elapsed, deadline)
+	}
+}
+
+func TestResilientPanicDegradesToFallback(t *testing.T) {
+	primary := &fakeDispatcher{name: "boom", panics: true}
+	fallback := &fakeDispatcher{name: "safe", out: []fleet.Assignment{{TaxiID: 3, Requests: []int{1}}}}
+	r := NewResilient(primary, fallback, time.Second)
+	before := degradedCount("panic")
+	got, err := r.Dispatch(resilientFrame())
+	if err != nil {
+		t.Fatalf("Dispatch after primary panic: %v", err)
+	}
+	if fallback.calls != 1 {
+		t.Fatalf("fallback calls = %d, want 1", fallback.calls)
+	}
+	if len(got) != 1 || got[0].TaxiID != 3 {
+		t.Fatalf("got %+v, want the fallback's assignment", got)
+	}
+	if degradedCount("panic") != before+1 {
+		t.Error("dispatch_degraded_frames_total{reason=\"panic\"} not incremented")
+	}
+}
+
+func TestResilientErrorDegradesToFallback(t *testing.T) {
+	primary := &fakeDispatcher{name: "bad", err: errors.New("solver wedged")}
+	fallback := &fakeDispatcher{name: "safe"}
+	r := NewResilient(primary, fallback, time.Second)
+	before := degradedCount("error")
+	if _, err := r.Dispatch(resilientFrame()); err != nil {
+		t.Fatalf("Dispatch after primary error: %v", err)
+	}
+	if fallback.calls != 1 {
+		t.Fatalf("fallback calls = %d, want 1", fallback.calls)
+	}
+	if degradedCount("error") != before+1 {
+		t.Error("dispatch_degraded_frames_total{reason=\"error\"} not incremented")
+	}
+}
+
+func TestResilientFallbackPanicSurfacesAsError(t *testing.T) {
+	primary := &fakeDispatcher{name: "boom", panics: true}
+	fallback := &fakeDispatcher{name: "alsoboom", panics: true}
+	r := NewResilient(primary, fallback, time.Second)
+	if _, err := r.Dispatch(resilientFrame()); err == nil {
+		t.Fatal("both dispatchers panicked but Dispatch returned nil error")
+	}
+}
+
+// TestResilientFrameLatencyBounded runs many frames against a primary
+// that alternates healthy and pathological behaviour and checks the
+// p99 frame latency stays bounded by deadline + fallback cost.
+func TestResilientFrameLatencyBounded(t *testing.T) {
+	const deadline = 20 * time.Millisecond
+	frame := resilientFrame()
+	var latencies []time.Duration
+	for i := 0; i < 30; i++ {
+		var primary sim.Dispatcher
+		switch i % 3 {
+		case 0:
+			primary = &fakeDispatcher{name: "ok", out: nil}
+		case 1:
+			primary = &fakeDispatcher{name: "slow", sleep: time.Second}
+		default:
+			primary = &fakeDispatcher{name: "boom", panics: true}
+		}
+		r := NewResilient(primary, &fakeDispatcher{name: "safe"}, deadline)
+		start := time.Now()
+		if _, err := r.Dispatch(frame); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		latencies = append(latencies, time.Since(start))
+	}
+	worst := time.Duration(0)
+	for _, l := range latencies {
+		if l > worst {
+			worst = l
+		}
+	}
+	if worst > deadline+500*time.Millisecond {
+		t.Errorf("worst frame latency %v, want bounded by deadline %v + fallback cost", worst, deadline)
+	}
+}

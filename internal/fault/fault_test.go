@@ -1,0 +1,160 @@
+package fault_test
+
+import (
+	"testing"
+
+	"stabledispatch/internal/fault"
+	"stabledispatch/internal/sim"
+)
+
+// The schedule must satisfy the simulator's injector interface.
+var _ sim.FaultInjector = (*fault.Schedule)(nil)
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	bad := []fault.Config{
+		{BreakdownRate: -0.1},
+		{BreakdownRate: 1.5},
+		{DriverCancelRate: 2},
+		{PassengerCancelRate: -1},
+		{RepairFrames: -3},
+		{MaxCancelDelayFrames: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := fault.New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted an invalid config", cfg)
+		}
+	}
+	if _, err := fault.New(fault.Config{}); err != nil {
+		t.Errorf("New rejected the zero config: %v", err)
+	}
+}
+
+func TestZeroRatesInjectNothing(t *testing.T) {
+	s, err := fault.New(fault.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 1000; id++ {
+		if _, ok := s.PassengerCancelAfter(id); ok {
+			t.Fatalf("passenger cancel injected at rate 0 (request %d)", id)
+		}
+		if _, ok := s.DriverCancelAfter(id, id+1, id+2); ok {
+			t.Fatalf("driver cancel injected at rate 0 (taxi %d)", id)
+		}
+		if _, ok := s.Breakdown(id, id); ok {
+			t.Fatalf("breakdown injected at rate 0 (taxi %d)", id)
+		}
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	cfg := fault.Config{
+		Seed:                42,
+		BreakdownRate:       0.2,
+		DriverCancelRate:    0.3,
+		PassengerCancelRate: 0.25,
+	}
+	a, _ := fault.New(cfg)
+	b, _ := fault.New(cfg)
+	for id := 0; id < 500; id++ {
+		ad, aok := a.PassengerCancelAfter(id)
+		bd, bok := b.PassengerCancelAfter(id)
+		if ad != bd || aok != bok {
+			t.Fatalf("passenger decision diverged for request %d: (%d,%v) vs (%d,%v)", id, ad, aok, bd, bok)
+		}
+		ad, aok = a.DriverCancelAfter(id, id*7, id%13)
+		bd, bok = b.DriverCancelAfter(id, id*7, id%13)
+		if ad != bd || aok != bok {
+			t.Fatalf("driver decision diverged for taxi %d", id)
+		}
+		ad, aok = a.Breakdown(id, id*3)
+		bd, bok = b.Breakdown(id, id*3)
+		if ad != bd || aok != bok {
+			t.Fatalf("breakdown decision diverged for taxi %d", id)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	mk := func(seed int64) *fault.Schedule {
+		s, err := fault.New(fault.Config{Seed: seed, PassengerCancelRate: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(1), mk(2)
+	diverged := false
+	for id := 0; id < 200; id++ {
+		_, aok := a.PassengerCancelAfter(id)
+		_, bok := b.PassengerCancelAfter(id)
+		if aok != bok {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("seeds 1 and 2 made identical decisions over 200 requests")
+	}
+}
+
+func TestRatesApproximatelyRespected(t *testing.T) {
+	const n = 20000
+	s, err := fault.New(fault.Config{Seed: 9, PassengerCancelRate: 0.3, BreakdownRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancels := 0
+	for id := 0; id < n; id++ {
+		if _, ok := s.PassengerCancelAfter(id); ok {
+			cancels++
+		}
+	}
+	if got := float64(cancels) / n; got < 0.27 || got > 0.33 {
+		t.Errorf("passenger cancel rate = %.3f, want ≈ 0.30", got)
+	}
+	breaks := 0
+	for i := 0; i < n; i++ {
+		if _, ok := s.Breakdown(i%100, i/100); ok {
+			breaks++
+		}
+	}
+	if got := float64(breaks) / n; got < 0.08 || got > 0.12 {
+		t.Errorf("breakdown rate = %.3f, want ≈ 0.10", got)
+	}
+}
+
+func TestDelaysWithinBounds(t *testing.T) {
+	s, err := fault.New(fault.Config{Seed: 5, PassengerCancelRate: 1, MaxCancelDelayFrames: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for id := 0; id < 2000; id++ {
+		d, ok := s.PassengerCancelAfter(id)
+		if !ok {
+			t.Fatalf("rate 1 skipped request %d", id)
+		}
+		if d < 1 || d > 6 {
+			t.Fatalf("delay %d outside [1, 6]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("delays drew %d distinct values of 6", len(seen))
+	}
+}
+
+func TestRepairFramesDefaulted(t *testing.T) {
+	s, err := fault.New(fault.Config{Seed: 3, BreakdownRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repair, ok := s.Breakdown(0, 0)
+	if !ok || repair != fault.DefaultRepairFrames {
+		t.Errorf("Breakdown = (%d, %v), want (%d, true)", repair, ok, fault.DefaultRepairFrames)
+	}
+	if got := s.Config().MaxCancelDelayFrames; got != fault.DefaultMaxCancelDelay {
+		t.Errorf("MaxCancelDelayFrames defaulted to %d, want %d", got, fault.DefaultMaxCancelDelay)
+	}
+}

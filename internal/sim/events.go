@@ -18,6 +18,16 @@ const (
 	EventPickup  EventKind = "pickup"  // the passenger boarded
 	EventDropoff EventKind = "dropoff" // the passenger alighted
 	EventAbandon EventKind = "abandon" // the passenger gave up waiting
+
+	// Fault-lifecycle kinds. A driver cancellation emits cancel followed
+	// by requeue for the same request; a passenger cancellation emits
+	// cancel alone; a breakdown emits breakdown for the taxi, then
+	// requeue for each revoked assignment and rescue for each orphaned
+	// rider.
+	EventCancel    EventKind = "cancel"    // an assignment or request was withdrawn before pickup
+	EventBreakdown EventKind = "breakdown" // a taxi broke down mid-route (RequestID is -1)
+	EventRequeue   EventKind = "requeue"   // a revoked request re-entered the pending queue
+	EventRescue    EventKind = "rescue"    // an orphaned rider re-entered the queue from the breakdown position
 )
 
 // Event is one step of a request's lifecycle, suitable for JSONL replay

@@ -20,6 +20,16 @@ type RequestOutcome struct {
 	// Abandoned reports whether the passenger gave up waiting (the
 	// simulator's patience bound expired before any dispatch).
 	Abandoned bool
+	// Cancelled reports whether the request was withdrawn before pickup
+	// (by the passenger, via the cancellation API, or by an injected
+	// fault).
+	Cancelled bool
+	// Rescued reports whether the rider was orphaned by a mid-route
+	// breakdown and re-injected as a rescue request.
+	Rescued bool
+	// Requeues counts how many times the request re-entered the pending
+	// queue after a revoked assignment or a rescue.
+	Requeues int
 }
 
 // DispatchDelay returns the paper's dispatch-delay metric in frames
@@ -114,6 +124,40 @@ func (r *Report) AbandonedCount() int {
 		if o.Abandoned {
 			n++
 		}
+	}
+	return n
+}
+
+// CancelledCount returns how many requests were withdrawn before
+// pickup.
+func (r *Report) CancelledCount() int {
+	n := 0
+	for _, o := range r.Requests {
+		if o.Cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// RescuedCount returns how many riders were orphaned by a breakdown and
+// re-injected as rescue requests.
+func (r *Report) RescuedCount() int {
+	n := 0
+	for _, o := range r.Requests {
+		if o.Rescued {
+			n++
+		}
+	}
+	return n
+}
+
+// RequeueCount returns the total number of re-dispatch attempts across
+// all requests (requeues after driver cancellations and rescues).
+func (r *Report) RequeueCount() int {
+	n := 0
+	for _, o := range r.Requests {
+		n += o.Requeues
 	}
 	return n
 }

@@ -117,8 +117,14 @@ type Config struct {
 	// route — the driver completes the fare, then goes dark).
 	Outages []Outage
 	// Events, when non-nil, receives every lifecycle event (request,
-	// assign, pickup, dropoff, abandon) as it happens.
+	// assign, pickup, dropoff, abandon, cancel, breakdown, requeue,
+	// rescue) as it happens.
 	Events EventSink
+	// Faults, when non-nil, injects unscheduled churn — passenger
+	// cancellations, driver cancellations, mid-route breakdowns — into
+	// the run. internal/fault provides a seeded deterministic
+	// implementation.
+	Faults FaultInjector
 }
 
 // Outage takes one taxi out of service for the frame interval
@@ -127,11 +133,6 @@ type Outage struct {
 	TaxiID int
 	From   int
 	To     int
-}
-
-// active reports whether the outage covers the frame.
-func (o Outage) active(frame int) bool {
-	return frame >= o.From && frame < o.To
 }
 
 func (c *Config) applyDefaults() {
@@ -156,6 +157,11 @@ func (c Config) Validate() error {
 	}
 	if err := c.Params.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
+	}
+	for _, o := range c.Outages {
+		if o.From >= o.To {
+			return fmt.Errorf("sim: outage for taxi %d has empty window [%d,%d)", o.TaxiID, o.From, o.To)
+		}
 	}
 	return nil
 }
@@ -199,6 +205,24 @@ type requestState struct {
 	pickedUp      bool
 	done          bool
 	abandoned     bool
+	released      bool // entered the pending queue
+	cancelled     bool // withdrawn by passenger or failed terminally
+	rescued       bool // orphaned by a breakdown and re-injected
+	requeues      int  // times the request re-entered the queue
+	// waitSince is the frame the patience clock last (re)started:
+	// arrival, or the latest requeue/rescue.
+	waitSince int
+}
+
+func newRequestState(r fleet.Request) *requestState {
+	return &requestState{
+		req:          r,
+		assignFrame:  -1,
+		pickupFrame:  -1,
+		dropoffFrame: -1,
+		taxiID:       -1,
+		waitSince:    r.Frame,
+	}
 }
 
 // Simulator runs a trace of requests against a fleet.
@@ -214,6 +238,14 @@ type Simulator struct {
 
 	assignments []AssignmentOutcome
 	episodes    []EpisodeOutcome
+
+	// Fault machinery: scheduled cancellations keyed by due frame, and
+	// the outage book (configured + dynamically injected) maintained as
+	// an O(1) active set per frame.
+	cancelDue    map[int][]int             // frame → passenger cancels due
+	driverDue    map[int][]driverCancelDue // frame → driver cancels due
+	outageStart  map[int][]Outage          // frame → outages opening then
+	activeOutage map[int]int               // taxiID → outage end (exclusive)
 }
 
 // New builds a simulator over the given fleet and request trace. Request
@@ -224,9 +256,13 @@ func New(cfg Config, taxis []fleet.Taxi, requests []fleet.Request) (*Simulator, 
 		return nil, err
 	}
 	s := &Simulator{
-		cfg:  cfg,
-		reqs: make(map[int]*requestState, len(requests)),
-		byID: make(map[int]*taxiState, len(taxis)),
+		cfg:          cfg,
+		reqs:         make(map[int]*requestState, len(requests)),
+		byID:         make(map[int]*taxiState, len(taxis)),
+		cancelDue:    make(map[int][]int),
+		driverDue:    make(map[int][]driverCancelDue),
+		outageStart:  make(map[int][]Outage),
+		activeOutage: make(map[int]int),
 	}
 	s.arrival = append(s.arrival, requests...)
 	sort.SliceStable(s.arrival, func(a, b int) bool {
@@ -236,13 +272,7 @@ func New(cfg Config, taxis []fleet.Taxi, requests []fleet.Request) (*Simulator, 
 		if _, dup := s.reqs[r.ID]; dup {
 			return nil, fmt.Errorf("sim: duplicate request ID %d", r.ID)
 		}
-		s.reqs[r.ID] = &requestState{
-			req:          r,
-			assignFrame:  -1,
-			pickupFrame:  -1,
-			dropoffFrame: -1,
-			taxiID:       -1,
-		}
+		s.reqs[r.ID] = newRequestState(r)
 	}
 	for _, t := range taxis {
 		if _, dup := s.byID[t.ID]; dup {
@@ -257,6 +287,17 @@ func New(cfg Config, taxis []fleet.Taxi, requests []fleet.Request) (*Simulator, 
 		s.taxis = append(s.taxis, st)
 		s.byID[t.ID] = st
 	}
+	for _, o := range cfg.Outages {
+		if _, ok := s.byID[o.TaxiID]; !ok {
+			return nil, fmt.Errorf("sim: outage names unknown taxi %d", o.TaxiID)
+		}
+		start := max(o.From, 0)
+		if o.To <= start {
+			continue
+		}
+		s.outageStart[start] = append(s.outageStart[start], o)
+	}
+	s.refreshOutages()
 	return s, nil
 }
 
@@ -273,13 +314,7 @@ func (s *Simulator) Inject(r fleet.Request) error {
 	if r.Frame < s.frame {
 		r.Frame = s.frame
 	}
-	s.reqs[r.ID] = &requestState{
-		req:          r,
-		assignFrame:  -1,
-		pickupFrame:  -1,
-		dropoffFrame: -1,
-		taxiID:       -1,
-	}
+	s.reqs[r.ID] = newRequestState(r)
 	// Keep the unreleased tail of the arrival stream sorted.
 	pos := s.nextArr
 	for pos < len(s.arrival) && s.arrival[pos].Frame <= r.Frame {
@@ -312,10 +347,15 @@ func (s *Simulator) Done() bool {
 	return true
 }
 
-// Step advances the simulation one frame: release arrivals, expire
-// impatient requests, dispatch, then move taxis.
+// Step advances the simulation one frame: refresh the outage set,
+// release arrivals, apply injected faults, expire impatient requests,
+// dispatch, then move taxis. Faults run before dispatch so the
+// dispatcher always sees the post-fault world and never assigns a
+// just-broken taxi.
 func (s *Simulator) Step() error {
+	s.refreshOutages()
 	s.releaseArrivals()
+	s.applyFaults()
 	s.expireImpatient()
 	tm := obs.StartTimer(obsDispatchSeconds)
 	err := s.dispatch()
@@ -330,14 +370,11 @@ func (s *Simulator) Step() error {
 	return nil
 }
 
-// offline reports whether the taxi has an active injected outage.
+// offline reports whether the taxi has an active injected outage (from
+// the configuration, a chaos injection, or a breakdown repair window).
 func (s *Simulator) offline(taxiID int) bool {
-	for _, o := range s.cfg.Outages {
-		if o.TaxiID == taxiID && o.active(s.frame) {
-			return true
-		}
-	}
-	return false
+	to, ok := s.activeOutage[taxiID]
+	return ok && s.frame < to
 }
 
 // expireImpatient drops pending requests older than the patience bound.
@@ -348,7 +385,7 @@ func (s *Simulator) expireImpatient() {
 	kept := s.pending[:0]
 	for _, id := range s.pending {
 		rs := s.reqs[id]
-		if s.frame-rs.req.Frame >= s.cfg.PatienceFrames {
+		if s.frame-rs.waitSince >= s.cfg.PatienceFrames {
 			rs.abandoned = true
 			s.emit(Event{Frame: s.frame, Kind: EventAbandon, RequestID: id, TaxiID: -1, Pos: rs.req.Pickup})
 			continue
@@ -394,9 +431,17 @@ func (s *Simulator) Run() (*Report, error) {
 func (s *Simulator) releaseArrivals() {
 	for s.nextArr < len(s.arrival) && s.arrival[s.nextArr].Frame <= s.frame {
 		r := s.arrival[s.nextArr]
-		s.pending = append(s.pending, r.ID)
 		s.nextArr++
+		rs := s.reqs[r.ID]
+		rs.released = true
+		// A request cancelled before release (CancelRequest on a
+		// future-dated injection) never enters the queue.
+		if rs.cancelled {
+			continue
+		}
+		s.pending = append(s.pending, r.ID)
 		s.emit(Event{Frame: s.frame, Kind: EventRequest, RequestID: r.ID, TaxiID: -1, Pos: r.Pickup})
+		s.scheduleFaultsOnArrival(r.ID)
 	}
 }
 
@@ -478,7 +523,7 @@ func (s *Simulator) apply(a fleet.Assignment, seenTaxi map[int]bool) error {
 		if !ok {
 			return fmt.Errorf("assignment names unknown request %d", id)
 		}
-		if rs.assigned || rs.done {
+		if rs.assigned || rs.done || rs.abandoned || rs.cancelled {
 			return fmt.Errorf("request %d is not pending", id)
 		}
 		newReqs = append(newReqs, rs)
@@ -518,6 +563,7 @@ func (s *Simulator) apply(a fleet.Assignment, seenTaxi map[int]bool) error {
 		t.pending[rs.req.ID] = true
 		s.removePending(rs.req.ID)
 		s.emit(Event{Frame: s.frame, Kind: EventAssign, RequestID: rs.req.ID, TaxiID: a.TaxiID, Pos: rs.req.Pickup})
+		s.scheduleFaultsOnAssign(a.TaxiID, rs.req.ID)
 	}
 
 	// Episode bookkeeping.
@@ -709,18 +755,36 @@ func (s *Simulator) buildReport() *Report {
 		rep.EventSinkErr = es.Err()
 	}
 	for _, r := range s.arrival {
-		rs := s.reqs[r.ID]
-		rep.Requests = append(rep.Requests, RequestOutcome{
-			ID:            r.ID,
-			ArrivalFrame:  r.Frame,
-			AssignFrame:   rs.assignFrame,
-			PickupFrame:   rs.pickupFrame,
-			DropoffFrame:  rs.dropoffFrame,
-			TaxiID:        rs.taxiID,
-			PassengerDiss: rs.passengerDiss,
-			Served:        rs.assigned,
-			Abandoned:     rs.abandoned,
-		})
+		rep.Requests = append(rep.Requests, s.outcome(s.reqs[r.ID]))
 	}
 	return rep
+}
+
+// outcome snapshots one request's lifecycle record.
+func (s *Simulator) outcome(rs *requestState) RequestOutcome {
+	return RequestOutcome{
+		ID:            rs.req.ID,
+		ArrivalFrame:  rs.req.Frame,
+		AssignFrame:   rs.assignFrame,
+		PickupFrame:   rs.pickupFrame,
+		DropoffFrame:  rs.dropoffFrame,
+		TaxiID:        rs.taxiID,
+		PassengerDiss: rs.passengerDiss,
+		Served:        rs.assigned,
+		Abandoned:     rs.abandoned,
+		Cancelled:     rs.cancelled,
+		Rescued:       rs.rescued,
+		Requeues:      rs.requeues,
+	}
+}
+
+// RequestOutcome returns the current lifecycle record of one request
+// without building a full report, or false if the ID is unknown. The
+// dispatch daemon's per-request status endpoint uses this.
+func (s *Simulator) RequestOutcome(id int) (RequestOutcome, bool) {
+	rs, ok := s.reqs[id]
+	if !ok {
+		return RequestOutcome{}, false
+	}
+	return s.outcome(rs), true
 }

@@ -34,9 +34,12 @@
 package stabledispatch
 
 import (
+	"time"
+
 	"stabledispatch/internal/carpool"
 	"stabledispatch/internal/dispatch"
 	"stabledispatch/internal/exp"
+	"stabledispatch/internal/fault"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/pref"
@@ -192,7 +195,27 @@ type (
 	EventSink = sim.EventSink
 	// EventSinkFunc adapts a function to the EventSink interface.
 	EventSinkFunc = sim.EventSinkFunc
+	// FaultInjector supplies cancellation and breakdown decisions to a
+	// simulation (SimConfig.Faults).
+	FaultInjector = sim.FaultInjector
+	// FaultConfig parameterises a seeded fault schedule.
+	FaultConfig = fault.Config
+	// FaultSchedule is a deterministic, seed-derived FaultInjector.
+	FaultSchedule = fault.Schedule
 )
+
+// NewFaultSchedule derives a reproducible fault-injection schedule
+// (breakdowns, driver and passenger cancellations) from cfg.Seed.
+func NewFaultSchedule(cfg FaultConfig) (*FaultSchedule, error) {
+	return fault.New(cfg)
+}
+
+// ResilientDispatcher wraps primary with a per-frame compute deadline
+// and panic recovery, degrading the frame to fallback (Greedy when nil)
+// on overrun, panic, or error.
+func ResilientDispatcher(primary, fallback Dispatcher, deadline time.Duration) Dispatcher {
+	return dispatch.NewResilient(primary, fallback, deadline)
+}
 
 // NewSimulator builds a simulator over the given fleet and request
 // trace.
