@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"stabledispatch/internal/dispatch"
+	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/exp"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
@@ -210,10 +211,16 @@ func benchFrame(b *testing.B, nReqs, nTaxis int) *sim.Frame {
 	return f
 }
 
-func benchmarkDispatchFrame(b *testing.B, instrumented bool) {
+func benchmarkDispatchFrame(b *testing.B, instrumented, traced bool) {
 	was := obs.Enabled()
 	obs.SetEnabled(instrumented)
 	defer obs.SetEnabled(was)
+	wasTracing := dtrace.Enabled()
+	dtrace.SetEnabled(traced)
+	defer func() {
+		dtrace.SetEnabled(wasTracing)
+		dtrace.Default().Reset()
+	}()
 	f := benchFrame(b, 100, 400)
 	d := dispatch.NewNSTDP()
 	b.ReportAllocs()
@@ -230,13 +237,20 @@ func benchmarkDispatchFrame(b *testing.B, instrumented bool) {
 }
 
 // BenchmarkDispatchFrame measures an NSTD-P frame with the obs registry
-// disabled: the uninstrumented baseline.
-func BenchmarkDispatchFrame(b *testing.B) { benchmarkDispatchFrame(b, false) }
+// and decision tracing both disabled: the uninstrumented baseline.
+func BenchmarkDispatchFrame(b *testing.B) { benchmarkDispatchFrame(b, false, false) }
 
 // BenchmarkDispatchFrameInstrumented measures the identical frame with
 // metrics enabled; compare against BenchmarkDispatchFrame to bound the
 // instrumentation overhead (budget: <2%).
-func BenchmarkDispatchFrameInstrumented(b *testing.B) { benchmarkDispatchFrame(b, true) }
+func BenchmarkDispatchFrameInstrumented(b *testing.B) { benchmarkDispatchFrame(b, true, false) }
+
+// BenchmarkDispatchFrameTraced measures the identical frame with
+// decision tracing recording every proposal; compare against
+// BenchmarkDispatchFrame for the traced-path cost. The kill-switch-off
+// budget is ≤5% (BenchmarkDispatchFrame itself exercises that path: each
+// instrumentation site is one atomic load when disabled).
+func BenchmarkDispatchFrameTraced(b *testing.B) { benchmarkDispatchFrame(b, false, true) }
 
 // BenchmarkAblationMaxNet regenerates the taxi-threshold ablation sweep.
 func BenchmarkAblationMaxNet(b *testing.B) {

@@ -14,8 +14,15 @@
 //	GET    /v1/taxis
 //	GET    /v1/requests/{id}
 //	GET    /v1/report
+//	GET    /v1/events                  ?since=FRAME&limit=N
+//	GET    /v1/traces/{id}             full decision trace of one request
+//	GET    /v1/explain/{id}            why this taxi: ranks + rejected alternatives
+//	GET    /v1/frames/{n}/stability    blocking-pair certificate of frame n
 //	GET    /v1/metrics        Prometheus text format
-//	GET    /healthz
+//	GET    /healthz           uptime, frame, and occupancy counts
+//
+// Decision tracing is on by default (disable with -dtrace=false); the
+// trace ring keeps the most recent -trace-capacity requests.
 //
 // With -debug-addr a second listener serves net/http/pprof under
 // /debug/pprof/, kept off the public API address on purpose.
@@ -35,6 +42,7 @@ import (
 
 	"stabledispatch/internal/carpool"
 	"stabledispatch/internal/dispatch"
+	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/pref"
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
@@ -61,9 +69,15 @@ func run(args []string) error {
 		debug    = fs.String("debug-addr", "", "optional extra listener for net/http/pprof (e.g. localhost:6060; empty = disabled)")
 		quiet    = fs.Bool("quiet", false, "suppress per-request access logging")
 		frameDDL = fs.Duration("frame-deadline", 0, "per-frame dispatch compute deadline; overruns and panics degrade to greedy (0 = unbounded)")
+		dtraceOn = fs.Bool("dtrace", true, "record per-request decision traces and frame stability certificates")
+		traceCap = fs.Int("trace-capacity", dtrace.DefaultCapacity, "max request traces retained in the decision-trace ring")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	dtrace.SetEnabled(*dtraceOn)
+	if *dtraceOn {
+		dtrace.Default().SetCapacity(*traceCap)
 	}
 
 	var city trace.City

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
@@ -24,10 +25,11 @@ type server struct {
 	sim    *sim.Simulator
 	events *eventBuffer
 	nextID int
+	start  time.Time
 }
 
 func newServer(s *sim.Simulator) *server {
-	return &server{sim: s}
+	return &server{sim: s, start: time.Now()}
 }
 
 // withEvents attaches the event buffer served at /v1/events.
@@ -54,10 +56,40 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/chaos", s.postChaos)
 	mux.HandleFunc("GET /v1/events", s.getEvents)
 	mux.HandleFunc("GET /v1/metrics", s.getMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /v1/traces/{id}", s.getTrace)
+	mux.HandleFunc("GET /v1/explain/{id}", s.getExplain)
+	mux.HandleFunc("GET /v1/frames/{n}/stability", s.getStability)
+	mux.HandleFunc("GET /healthz", s.getHealth)
 	return mux
+}
+
+// healthOut is the liveness payload: still "status":"ok", now with
+// enough occupancy context to read fleet health at a glance.
+type healthOut struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Frame         int     `json:"frame"`
+	Pending       int     `json:"pendingRequests"`
+	Active        int     `json:"activeRequests"`
+	Taxis         int     `json:"taxis"`
+	TaxisIdle     int     `json:"taxisIdle"`
+	TaxisOffline  int     `json:"taxisOffline"`
+}
+
+func (s *server) getHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	c := s.sim.Counts()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, healthOut{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Frame:         c.Frame,
+		Pending:       c.Pending,
+		Active:        c.Active,
+		Taxis:         c.Taxis,
+		TaxisIdle:     c.TaxisIdle,
+		TaxisOffline:  c.TaxisOffline,
+	})
 }
 
 // pointJSON is the wire form of a coordinate.
@@ -472,7 +504,21 @@ func (s *server) getEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		since = n
 	}
+	limit := -1
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
+			return
+		}
+		limit = n
+	}
 	out := s.events.Since(since)
+	if limit >= 0 && len(out) > limit {
+		// Keep the newest events: a poller asking for a bounded page
+		// wants the tail of the stream.
+		out = out[len(out)-limit:]
+	}
 	if out == nil {
 		out = []sim.Event{}
 	}

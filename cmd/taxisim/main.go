@@ -5,6 +5,7 @@
 //	taxisim -trace day.csv -city newyork -algo raii
 //	taxisim -algo nstd-p,greedy,mincost    # side-by-side comparison
 //	taxisim -algo all                      # every algorithm
+//	taxisim -algo nstd-p -trace-out decisions.json   # Chrome trace of dispatch decisions
 //
 // Algorithms: nstd-p, nstd-t, nstd-c, nstd-m, greedy, mincost, bottleneck
 // (non-sharing); std-p, std-t, raii, sarp, ilp (sharing).
@@ -19,6 +20,7 @@ import (
 
 	"stabledispatch/internal/carpool"
 	"stabledispatch/internal/dispatch"
+	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/fault"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/obs"
@@ -50,6 +52,8 @@ func run(args []string, out io.Writer) error {
 		speed     = fs.Float64("speed", 20, "taxi speed in km/h")
 		patience  = fs.Int("patience", 0, "minutes a passenger waits before abandoning (0 = forever)")
 		eventPath = fs.String("events", "", "write a JSONL lifecycle event log to this file")
+		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event JSON of dispatch decisions to this file (single algorithm only)")
+		traceCap  = fs.Int("trace-capacity", dtrace.DefaultCapacity, "max request traces retained when -trace-out is set")
 
 		faultSeed     = fs.Int64("fault-seed", 0, "seed for the fault-injection schedule (0 = derive from -seed)")
 		breakdownRate = fs.Float64("breakdown-rate", 0, "per-frame probability a busy taxi breaks down mid-route")
@@ -140,6 +144,16 @@ func run(args []string, out io.Writer) error {
 	if strings.EqualFold(*algo, "all") {
 		names = allAlgorithms()
 	}
+	if *traceOut != "" {
+		// The decision-trace ring is process-wide; a second run would
+		// interleave its decisions with the first.
+		if len(names) > 1 {
+			return fmt.Errorf("-trace-out requires a single algorithm, got %d", len(names))
+		}
+		dtrace.SetEnabled(true)
+		dtrace.Default().SetCapacity(*traceCap)
+		defer dtrace.SetEnabled(false)
+	}
 	var reports []*sim.Report
 	for _, name := range names {
 		d, err := dispatcherByName(strings.TrimSpace(name), *theta)
@@ -166,10 +180,29 @@ func run(args []string, out io.Writer) error {
 		}
 		reports = append(reports, rep)
 	}
+	if *traceOut != "" {
+		if err := writeChromeTrace(*traceOut); err != nil {
+			return err
+		}
+	}
 	if len(reports) == 1 {
 		return printSummary(out, reports[0], len(reqs), *taxis)
 	}
 	return printComparison(out, reports, len(reqs), *taxis)
+}
+
+// writeChromeTrace dumps the run's decision traces in the Chrome
+// trace-event format (load in chrome://tracing or Perfetto).
+func writeChromeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dtrace.Default().WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // allAlgorithms lists every dispatcher name for -algo all, the paper's

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -124,6 +125,53 @@ func TestRunWritesEventLog(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"kind":"assign"`) {
 		t.Errorf("event log missing assign events:\n%.300s", data)
+	}
+}
+
+func TestRunWritesChromeTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "decisions.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "nstd-p", "-taxis", "6", "-frames", "10",
+		"-volume", "1500", "-seed", "7", "-trace-out", path,
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	kinds := map[string]bool{}
+	for _, e := range events {
+		if ph, _ := e["ph"].(string); ph != "" {
+			kinds[ph] = true
+		}
+	}
+	// Metadata, decision instants, and lifecycle slices must all appear.
+	for _, ph := range []string{"M", "i", "X"} {
+		if !kinds[ph] {
+			t.Errorf("trace has no %q events (phases seen: %v)", ph, kinds)
+		}
+	}
+}
+
+func TestTraceOutRejectsMultiAlgorithm(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "nstd-p,greedy", "-taxis", "4", "-frames", "5",
+		"-trace-out", filepath.Join(t.TempDir(), "x.json"),
+	}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "single algorithm") {
+		t.Errorf("err = %v, want single-algorithm rejection", err)
 	}
 }
 

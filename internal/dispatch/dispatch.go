@@ -71,12 +71,13 @@ func (d *NSTD) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
+	ft := newFrameTracer(f.Number, &inst.Market, singleIDs(f.Requests), fleetIDs(taxis))
 	tm = stageTimer("matching")
 	var m stable.Matching
 	if d.taxiOptimal {
-		m = stable.TaxiOptimal(&inst.Market)
+		m = stable.TaxiOptimalObserved(&inst.Market, ft.observer(true))
 	} else {
-		m = stable.PassengerOptimal(&inst.Market)
+		m = stable.PassengerOptimalObserved(&inst.Market, ft.observer(false))
 	}
 	tm.ObserveDuration()
 	out := singleRides(m, taxis, f.Requests)
@@ -213,12 +214,13 @@ func (d *STD) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %s: %w", d.Name(), err)
 	}
+	ft := newFrameTracer(f.Number, mk, unitMemberIDs(units, f.Requests), fleetIDs(taxis))
 	tm = stageTimer("matching")
 	var m stable.Matching
 	if d.taxiOptimal {
-		m = stable.TaxiOptimal(mk)
+		m = stable.TaxiOptimalObserved(mk, ft.observer(true))
 	} else {
-		m = stable.PassengerOptimal(mk)
+		m = stable.PassengerOptimalObserved(mk, ft.observer(false))
 	}
 	tm.ObserveDuration()
 	var out []fleet.Assignment

@@ -1,0 +1,288 @@
+package dispatch
+
+import (
+	"fmt"
+
+	"stabledispatch/internal/dtrace"
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/pref"
+	"stabledispatch/internal/share"
+	"stabledispatch/internal/stable"
+)
+
+// Decision tracing for the matching stage. Package stable reports
+// decisions in market indices; frameTracer translates them into fleet
+// IDs and preference ranks and records them on each affected request's
+// trace. Everything here is built only when tracing is enabled — the
+// rank tables cost O(R·T) per traced frame — and the untraced path pays
+// one atomic load in newFrameTracer.
+
+// traceTopCandidates bounds the per-request shortlist recorded at
+// preference-build time.
+const traceTopCandidates = 3
+
+// frameTracer translates one frame's matching decisions into dtrace
+// events. memberIDs[j] holds the fleet request IDs behind proposer-side
+// index j — one ID for the non-sharing dispatchers, the group members
+// for the sharing ones.
+type frameTracer struct {
+	rec       *dtrace.Recorder
+	frame     int
+	mk        *pref.Market
+	memberIDs [][]int
+	taxiIDs   []int
+	// reqRank[j][i] is taxi i's rank on request j's list (-1 when not
+	// mutually acceptable); taxiRank[i][j] mirrors it.
+	reqRank  [][]int
+	taxiRank [][]int
+}
+
+// newFrameTracer returns a tracer for the frame, or nil when tracing is
+// disabled. Building it records each request's candidate shortlist (the
+// dummy-partner threshold check: who is ahead of the dummy, and by how
+// much).
+func newFrameTracer(frame int, mk *pref.Market, memberIDs [][]int, taxiIDs []int) *frameTracer {
+	rec := dtrace.Active()
+	if rec == nil {
+		return nil
+	}
+	t := &frameTracer{
+		rec:       rec,
+		frame:     frame,
+		mk:        mk,
+		memberIDs: memberIDs,
+		taxiIDs:   taxiIDs,
+		reqRank:   make([][]int, mk.NumRequests()),
+		taxiRank:  make([][]int, mk.NumTaxis()),
+	}
+	for j := range t.reqRank {
+		t.reqRank[j] = rankTable(mk.NumTaxis(), mk.ReqPrefList(j))
+	}
+	for i := range t.taxiRank {
+		t.taxiRank[i] = rankTable(mk.NumRequests(), mk.TaxiPrefList(i))
+	}
+	t.recordCandidates()
+	return t
+}
+
+// rankTable inverts a preference list into a rank lookup (-1 = behind a
+// dummy).
+func rankTable(n int, prefList []int) []int {
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = -1
+	}
+	for rank, idx := range prefList {
+		ranks[idx] = rank
+	}
+	return ranks
+}
+
+// membersOf returns the fleet request IDs behind proposer-side index j.
+func (t *frameTracer) membersOf(j int) []int {
+	if j < 0 || j >= len(t.memberIDs) {
+		return nil
+	}
+	return t.memberIDs[j]
+}
+
+// firstMember returns the lead request ID of side index j, or -1.
+func (t *frameTracer) firstMember(j int) int {
+	if ids := t.membersOf(j); len(ids) > 0 {
+		return ids[0]
+	}
+	return -1
+}
+
+// taxiID translates a market taxi index, tolerating Unmatched.
+func (t *frameTracer) taxiID(i int) int {
+	if i < 0 || i >= len(t.taxiIDs) {
+		return -1
+	}
+	return t.taxiIDs[i]
+}
+
+// record stamps the frame and writes the event on every member of side
+// index j.
+func (t *frameTracer) record(j int, e dtrace.Event) {
+	e.Frame = t.frame
+	ids := t.membersOf(j)
+	if len(ids) > 1 && e.Members == nil {
+		e.Members = ids
+	}
+	for _, id := range ids {
+		t.rec.Record(id, e)
+	}
+}
+
+// recordCandidates writes each request's dummy-partner threshold check:
+// how many taxis sit ahead of its dummy and the top few with both costs.
+// This guarantees every traced request has at least one alternatives
+// event for the explain surface even if its first proposal is accepted.
+func (t *frameTracer) recordCandidates() {
+	pool := t.mk.NumTaxis()
+	for j := 0; j < t.mk.NumRequests(); j++ {
+		list := t.mk.ReqPrefList(j)
+		e := dtrace.Ev(dtrace.KindCandidates)
+		e.Acceptable = len(list)
+		e.Pool = pool
+		if len(list) == 0 {
+			e.Outcome = "no_acceptable_taxi"
+			e.Detail = fmt.Sprintf("all %d taxis sit behind a dummy partner (too far, or the trip does not pay)", pool)
+		} else {
+			e.Outcome = "acceptable"
+			e.Detail = fmt.Sprintf("%d of %d taxis ahead of the dummy partner", len(list), pool)
+		}
+		top := list
+		if len(top) > traceTopCandidates {
+			top = top[:traceTopCandidates]
+		}
+		for rank, i := range top {
+			e.Candidates = append(e.Candidates, dtrace.Candidate{
+				TaxiID:   t.taxiID(i),
+				Rank:     rank,
+				PickupKm: t.mk.ReqCost[j][i],
+				NetKm:    t.mk.TaxiCost[i][j],
+			})
+		}
+		t.record(j, e)
+	}
+}
+
+// observer returns the stable.Observer recording this frame's
+// deferred-acceptance decisions. taxiProposing selects the taxi-optimal
+// mirror, where proposer indices are taxis. A nil tracer returns a nil
+// observer (tracing disabled).
+func (t *frameTracer) observer(taxiProposing bool) *stable.Observer {
+	if t == nil {
+		return nil
+	}
+	if taxiProposing {
+		return &stable.Observer{
+			Proposal:  t.taxiProposal,
+			Exhausted: func(int) {}, // a taxi settling for its dummy is not a request-side event
+		}
+	}
+	return &stable.Observer{
+		Proposal:  t.reqProposal,
+		Exhausted: t.reqExhausted,
+	}
+}
+
+// reqProposal records one passenger-proposing step: request j proposes
+// to taxi i whose tentative partner was rival (another request index).
+func (t *frameTracer) reqProposal(j, i, rival int, outcome string) {
+	e := dtrace.Ev(dtrace.KindPropose)
+	e.TaxiID = t.taxiID(i)
+	e.ReqRank = t.reqRank[j][i]
+	e.TaxiRank = t.taxiRank[i][j]
+	e.Outcome = outcome
+	if rival != stable.Unmatched {
+		e.RivalID = t.firstMember(rival)
+		e.RivalRank = t.taxiRank[i][rival]
+	}
+	switch outcome {
+	case "accepted":
+		e.Detail = fmt.Sprintf("taxi %d was free and the pair is mutually acceptable (request rank #%d, taxi rank #%d)",
+			e.TaxiID, e.ReqRank, e.TaxiRank)
+	case "displaced":
+		e.Detail = fmt.Sprintf("taxi %d upgraded: ranks this request #%d, displacing request %d ranked #%d",
+			e.TaxiID, e.TaxiRank, e.RivalID, e.RivalRank)
+	case "refused":
+		e.Detail = fmt.Sprintf("taxi %d refused: prefers its tentative request %d (rank #%d) over this one (rank #%d)",
+			e.TaxiID, e.RivalID, e.RivalRank, e.TaxiRank)
+	}
+	t.record(j, e)
+
+	// The loser's trace gets the mirror event so its timeline explains
+	// why it went back to proposing.
+	if outcome == "displaced" && rival != stable.Unmatched {
+		d := dtrace.Ev(dtrace.KindDisplaced)
+		d.TaxiID = e.TaxiID
+		d.ReqRank = t.reqRank[rival][i]
+		d.TaxiRank = t.taxiRank[i][rival]
+		d.RivalID = t.firstMember(j)
+		d.RivalRank = t.taxiRank[i][j]
+		d.Outcome = "displaced"
+		d.Detail = fmt.Sprintf("lost taxi %d to request %d, which the taxi ranks #%d (this request ranked #%d); resuming proposals",
+			d.TaxiID, d.RivalID, d.RivalRank, d.TaxiRank)
+		t.record(rival, d)
+	}
+}
+
+// reqExhausted records request j running out of acceptable taxis.
+func (t *frameTracer) reqExhausted(j int) {
+	e := dtrace.Ev(dtrace.KindPropose)
+	e.Outcome = "exhausted"
+	e.Detail = "every acceptable taxi refused; the request settles for its dummy partner (unserved this frame)"
+	t.record(j, e)
+}
+
+// taxiProposal records one taxi-proposing step from the receiving
+// request's perspective: taxi i proposed to request j whose tentative
+// taxi was rival (a taxi index).
+func (t *frameTracer) taxiProposal(i, j, rival int, outcome string) {
+	e := dtrace.Ev(dtrace.KindPropose)
+	e.TaxiID = t.taxiID(i)
+	e.ReqRank = t.reqRank[j][i]
+	e.TaxiRank = t.taxiRank[i][j]
+	if rival != stable.Unmatched {
+		e.RivalID = t.taxiID(rival)
+		e.RivalRank = t.reqRank[j][rival]
+	}
+	switch outcome {
+	case "accepted":
+		e.Outcome = "accepted"
+		e.Detail = fmt.Sprintf("taxi %d proposed and the request was free (request rank #%d, taxi rank #%d)",
+			e.TaxiID, e.ReqRank, e.TaxiRank)
+	case "displaced":
+		e.Outcome = "upgraded"
+		e.Detail = fmt.Sprintf("taxi %d proposed and the request upgraded from taxi %d (rank #%d) to it (rank #%d)",
+			e.TaxiID, e.RivalID, e.RivalRank, e.ReqRank)
+	case "refused":
+		e.Outcome = "refused_taxi"
+		e.Detail = fmt.Sprintf("taxi %d proposed but the request kept taxi %d (rank #%d vs #%d)",
+			e.TaxiID, e.RivalID, e.RivalRank, e.ReqRank)
+	}
+	t.record(j, e)
+}
+
+// traceDegrade annotates the frame when Resilient hands it to the
+// fallback dispatcher: every subsequent assignment of the frame came
+// from the fallback, not the stable matching.
+func traceDegrade(frame int, primary, fallback, reason string, cause error) {
+	if rec := dtrace.Active(); rec != nil {
+		rec.AddFrameNote(frame, fmt.Sprintf(
+			"degraded dispatch: %s failed (%s: %v); frame decided by fallback %s", primary, reason, cause, fallback))
+	}
+}
+
+// singleIDs builds the one-request-per-proposer member table for the
+// non-sharing dispatchers.
+func singleIDs(reqs []fleet.Request) [][]int {
+	ids := make([][]int, len(reqs))
+	for j, r := range reqs {
+		ids[j] = []int{r.ID}
+	}
+	return ids
+}
+
+// unitMemberIDs builds the member table for the sharing dispatchers:
+// proposer-side index k is a share unit, whose events land on every
+// member's trace.
+func unitMemberIDs(units []share.Unit, reqs []fleet.Request) [][]int {
+	ids := make([][]int, len(units))
+	for k, u := range units {
+		ids[k] = u.RequestIDs(reqs)
+	}
+	return ids
+}
+
+// fleetIDs extracts the taxi IDs aligned with the market's taxi indices.
+func fleetIDs(taxis []fleet.Taxi) []int {
+	ids := make([]int, len(taxis))
+	for i, tx := range taxis {
+		ids[i] = tx.ID
+	}
+	return ids
+}

@@ -42,6 +42,10 @@ func (d *NSTDC) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
+	// The enumeration has no per-proposal observer; building the tracer
+	// still records each request's candidate shortlist for the explain
+	// surface.
+	_ = newFrameTracer(f.Number, &inst.Market, singleIDs(f.Requests), fleetIDs(taxis))
 	tm = stageTimer("matching")
 	m := stable.CompanyOptimal(&inst.Market, stable.TotalPickupDistance(inst), enumerationCap)
 	tm.ObserveDuration()
@@ -75,6 +79,7 @@ func (d *NSTDM) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
+	_ = newFrameTracer(f.Number, &inst.Market, singleIDs(f.Requests), fleetIDs(taxis))
 	tm = stageTimer("matching")
 	m := stable.MedianStable(&inst.Market, enumerationCap)
 	tm.ObserveDuration()

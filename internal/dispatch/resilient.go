@@ -88,6 +88,7 @@ func (d *Resilient) degrade(f *sim.Frame, reason string, cause error) ([]fleet.A
 	slog.Warn("dispatch: degraded frame",
 		"frame", f.Number, "primary", d.primary.Name(),
 		"fallback", d.fallback.Name(), "reason", reason, "err", cause)
+	traceDegrade(f.Number, d.primary.Name(), d.fallback.Name(), reason, cause)
 	res := safeDispatch(d.fallback, f)
 	if res.err != nil {
 		return nil, fmt.Errorf("dispatch: fallback %s after %s degrade: %w", d.fallback.Name(), reason, res.err)

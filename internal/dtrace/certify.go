@@ -1,0 +1,195 @@
+package dtrace
+
+import (
+	"fmt"
+
+	"stabledispatch/internal/pref"
+)
+
+// MaxViolations caps the violating pairs stored in one certificate; the
+// total count is still reported. A destabilized frame can have O(R·T)
+// blocking pairs and one example with evidence is what an operator acts
+// on, not ten thousand.
+const MaxViolations = 64
+
+// unmatched mirrors stable.Unmatched without importing package stable
+// (stable is below dtrace in the dependency order).
+const unmatched = -1
+
+// BlockingPair is one stability violation with its rank evidence: a
+// request and taxi that both prefer each other over their realized
+// partners (Definition 1), or a pair whose realized match is
+// individually irrational (behind a dummy).
+type BlockingPair struct {
+	RequestID int `json:"requestId"`
+	TaxiID    int `json:"taxiId"`
+	// Reason is "blocking_pair" or "irrational".
+	Reason string `json:"reason"`
+	// ReqRank is the taxi's rank on the request's preference list and
+	// ReqPartnerRank the rank of the request's realized partner
+	// (-1 = unmatched, i.e. the dummy). A blocking pair always has
+	// ReqRank < ReqPartnerRank or an unmatched request.
+	ReqRank        int `json:"reqRank"`
+	ReqPartnerRank int `json:"reqPartnerRank"`
+	// TaxiRank / TaxiPartnerRank are the mirror evidence on the taxi's
+	// list.
+	TaxiRank        int `json:"taxiRank"`
+	TaxiPartnerRank int `json:"taxiPartnerRank"`
+	// Detail spells the evidence out for humans.
+	Detail string `json:"detail"`
+}
+
+// Certificate is the stability audit of one committed frame: a full
+// blocking-pair scan (the same Definition 1 test as stable.IsStable)
+// over the realized matching restricted to the frame's participants.
+type Certificate struct {
+	Frame  int  `json:"frame"`
+	Stable bool `json:"stable"`
+	// Requests and Taxis are the scan dimensions; Matched counts the
+	// realized pairs among them.
+	Requests int `json:"requests"`
+	Taxis    int `json:"taxis"`
+	Matched  int `json:"matched"`
+	// Violations holds up to MaxViolations violating pairs with
+	// evidence; ViolationsTotal is the uncapped count.
+	Violations      []BlockingPair `json:"violations,omitempty"`
+	ViolationsTotal int            `json:"violationsTotal"`
+	// Notes carries frame-level annotations (degraded dispatch, no
+	// pending requests, …).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Trivial returns the certificate of a frame with nothing to match (no
+// pending requests or no available taxis): vacuously stable.
+func Trivial(frame, requests, taxis int, note string) *Certificate {
+	c := &Certificate{Frame: frame, Stable: true, Requests: requests, Taxis: taxis}
+	if note != "" {
+		c.Notes = []string{note}
+	}
+	return c
+}
+
+// Certify runs the blocking-pair scan over a realized matching.
+// reqPartner[j] is the market index of the taxi matched to request j
+// (or -1), exactly the shape of stable.Matching.ReqPartner; reqIDs and
+// taxiIDs map market indices to fleet IDs for the evidence. The test is
+// Definition 1 with the same strict tie-breaks as stable.IsStable: an
+// unmatched side (dummy partner) prefers any mutually acceptable
+// counterparty.
+func Certify(frame int, mk *pref.Market, reqPartner, reqIDs, taxiIDs []int) *Certificate {
+	r, t := mk.NumRequests(), mk.NumTaxis()
+	c := &Certificate{Frame: frame, Stable: true, Requests: r, Taxis: t}
+
+	// taxiPartner inverts reqPartner so the taxi side of the scan is
+	// O(1) per pair.
+	taxiPartner := make([]int, t)
+	for i := range taxiPartner {
+		taxiPartner[i] = unmatched
+	}
+	for j := 0; j < r; j++ {
+		i := reqPartner[j]
+		if i == unmatched {
+			continue
+		}
+		c.Matched++
+		taxiPartner[i] = j
+		if !mk.MutualOK(j, i) {
+			c.addViolation(mk, reqPartner, taxiPartner, reqIDs, taxiIDs, j, i, "irrational")
+		}
+	}
+
+	for j := 0; j < r; j++ {
+		for i := 0; i < t; i++ {
+			if reqPartner[j] == i || !mk.MutualOK(j, i) {
+				continue
+			}
+			jWants := reqPartner[j] == unmatched || mk.ReqPrefers(j, i, reqPartner[j])
+			if !jWants {
+				continue
+			}
+			iWants := taxiPartner[i] == unmatched || mk.TaxiPrefers(i, j, taxiPartner[i])
+			if iWants {
+				c.addViolation(mk, reqPartner, taxiPartner, reqIDs, taxiIDs, j, i, "blocking_pair")
+			}
+		}
+	}
+	return c
+}
+
+// addViolation records one violating pair, computing the rank evidence
+// lazily (only violations pay the O(R+T) rank scans).
+func (c *Certificate) addViolation(mk *pref.Market, reqPartner, taxiPartner, reqIDs, taxiIDs []int, j, i int, reason string) {
+	c.Stable = false
+	c.ViolationsTotal++
+	if len(c.Violations) >= MaxViolations {
+		return
+	}
+	bp := BlockingPair{
+		RequestID:       idOf(reqIDs, j),
+		TaxiID:          idOf(taxiIDs, i),
+		Reason:          reason,
+		ReqRank:         reqRank(mk, j, i),
+		ReqPartnerRank:  -1,
+		TaxiRank:        taxiRank(mk, i, j),
+		TaxiPartnerRank: -1,
+	}
+	if p := reqPartner[j]; p != unmatched {
+		bp.ReqPartnerRank = reqRank(mk, j, p)
+	}
+	if p := taxiPartner[i]; p != unmatched {
+		bp.TaxiPartnerRank = taxiRank(mk, i, p)
+	}
+	if reason == "irrational" {
+		bp.Detail = fmt.Sprintf("request %d and taxi %d are matched but behind a dummy partner (individually irrational)",
+			bp.RequestID, bp.TaxiID)
+	} else {
+		bp.Detail = fmt.Sprintf("request %d ranks taxi %d at %s (current partner at %s) and taxi %d ranks the request at %s (current partner at %s): both prefer each other",
+			bp.RequestID, bp.TaxiID, rankWord(bp.ReqRank), rankWord(bp.ReqPartnerRank),
+			bp.TaxiID, rankWord(bp.TaxiRank), rankWord(bp.TaxiPartnerRank))
+	}
+	c.Violations = append(c.Violations, bp)
+}
+
+// reqRank returns taxi i's rank on request j's preference list: the
+// number of mutually acceptable taxis j strictly prefers over i
+// (0 = most preferred), or -1 when the pair is not mutually acceptable.
+func reqRank(mk *pref.Market, j, i int) int {
+	if !mk.MutualOK(j, i) {
+		return -1
+	}
+	rank := 0
+	for k := 0; k < mk.NumTaxis(); k++ {
+		if k != i && mk.MutualOK(j, k) && mk.ReqPrefers(j, k, i) {
+			rank++
+		}
+	}
+	return rank
+}
+
+// taxiRank mirrors reqRank on the taxi's list.
+func taxiRank(mk *pref.Market, i, j int) int {
+	if !mk.MutualOK(j, i) {
+		return -1
+	}
+	rank := 0
+	for k := 0; k < mk.NumRequests(); k++ {
+		if k != j && mk.MutualOK(k, i) && mk.TaxiPrefers(i, k, j) {
+			rank++
+		}
+	}
+	return rank
+}
+
+func idOf(ids []int, idx int) int {
+	if idx >= 0 && idx < len(ids) {
+		return ids[idx]
+	}
+	return idx
+}
+
+func rankWord(rank int) string {
+	if rank < 0 {
+		return "dummy (unmatched)"
+	}
+	return fmt.Sprintf("#%d", rank)
+}

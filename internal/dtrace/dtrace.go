@@ -1,0 +1,429 @@
+// Package dtrace is the dispatch pipeline's decision-provenance layer:
+// a concurrency-safe, bounded ring buffer of per-request traces, where
+// each trace records the causally-ordered decisions that produced (or
+// denied) a dispatch — Gale–Shapley proposals and refusals with both
+// sides' preference ranks, dummy-partner threshold checks, share-group
+// formation and rejection with the detour bound θ, set-packing swap
+// decisions, and the request's assignment/revocation lifecycle from the
+// simulator — plus a per-frame stability certificate (a blocking-pair
+// scan over the realized matching, see certify.go).
+//
+// The paper's central claim is stability: no passenger-taxi pair prefers
+// each other over their assigned partners. Aggregate metrics (package
+// obs) can say how good a matching was; this package answers *why*
+// passenger X got taxi Y, which taxis refused, and whether a live
+// frame's matching is actually stable — the audit "Uber Stable" and the
+// peer-to-peer ridesharing literature run post hoc, kept as an always-on
+// runtime surface.
+//
+// Recording follows the obs conventions: a process-wide Default recorder
+// the instrumented packages write into, gated by a kill switch. Tracing
+// is OFF by default — hot paths pay exactly one atomic load via Active()
+// until an operator (or cmd/dispatchd's -dtrace flag, or cmd/taxisim's
+// -trace-out) switches it on. Memory is bounded twice over: the ring
+// keeps at most Capacity request traces (oldest evicted first) and each
+// trace keeps at most PerTraceCap events (later events counted, not
+// stored).
+package dtrace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the process-wide recording switch. Unlike obs, tracing is
+// opt-in: the default is off, so the untraced dispatch path costs one
+// atomic load per potential recording site.
+var enabled atomic.Bool
+
+// SetEnabled switches decision-trace recording on or off process-wide
+// (the kill switch).
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether decision tracing is on.
+func Enabled() bool { return enabled.Load() }
+
+var defaultRecorder = New(DefaultCapacity, DefaultPerTraceCap)
+
+// Default returns the process-wide recorder the instrumented packages
+// write into and cmd/dispatchd serves.
+func Default() *Recorder { return defaultRecorder }
+
+// Active returns the default recorder when tracing is enabled, nil
+// otherwise. Hot paths guard every recording site with it:
+//
+//	if rec := dtrace.Active(); rec != nil { rec.Record(id, ev) }
+func Active() *Recorder {
+	if !enabled.Load() {
+		return nil
+	}
+	return defaultRecorder
+}
+
+// Capacity defaults: how many request traces the ring retains, how many
+// events one trace retains, and how many frame certificates are kept.
+const (
+	DefaultCapacity    = 4096
+	DefaultPerTraceCap = 512
+	DefaultCertCap     = 1024
+)
+
+// Kind labels one decision-trace event.
+type Kind string
+
+// Decision kinds recorded by the matching pipeline, plus the simulator
+// lifecycle kinds (which reuse the sim event names verbatim: "request",
+// "assign", "pickup", "dropoff", "abandon", "cancel", "requeue",
+// "rescue").
+const (
+	// KindCandidates is the dummy-partner threshold check at preference-
+	// build time: which taxis are ahead of the request's dummy, with the
+	// top-ranked candidates' costs.
+	KindCandidates Kind = "candidates"
+	// KindPropose is one deferred-acceptance proposal (Algorithm 1 or
+	// its taxi-proposing mirror) with its outcome.
+	KindPropose Kind = "propose"
+	// KindDisplaced marks a request losing its tentative taxi to a rival
+	// the taxi prefers.
+	KindDisplaced Kind = "displaced"
+	// KindGroupFormed / KindGroupRejected are Algorithm 3's feasible-
+	// group decisions under the detour bound θ.
+	KindGroupFormed   Kind = "group_formed"
+	KindGroupRejected Kind = "group_rejected"
+	// KindPackPick marks a feasible group chosen by the set packing;
+	// KindPackSwap records a local-search exchange move.
+	KindPackPick Kind = "pack_pick"
+	KindPackSwap Kind = "pack_swap"
+)
+
+// Candidate is one taxi ahead of a request's dummy partner at
+// preference-build time.
+type Candidate struct {
+	TaxiID int `json:"taxiId"`
+	// Rank is the taxi's position in the request's preference list
+	// (0 = most preferred).
+	Rank int `json:"rank"`
+	// PickupKm is the request-side cost (D(t, r^s) non-sharing; the
+	// §V-A average for shared units).
+	PickupKm float64 `json:"pickupKm"`
+	// NetKm is the taxi-side cost (D(t, r^s) − α·D(r^s, r^d)).
+	NetKm float64 `json:"netKm"`
+}
+
+// Event is one causally-ordered step of a request's decision trace. Seq
+// is a recorder-global monotone sequence number, so interleaving events
+// of different requests within a frame stay ordered.
+type Event struct {
+	Seq   uint64 `json:"seq"`
+	Frame int    `json:"frame"`
+	Kind  Kind   `json:"kind"`
+	// TaxiID is the taxi the decision concerns, or -1.
+	TaxiID int `json:"taxiId"`
+	// ReqRank is the taxi's rank in the request's preference list;
+	// TaxiRank is the request's rank in the taxi's list (-1 = unknown
+	// or not applicable).
+	ReqRank  int `json:"reqRank"`
+	TaxiRank int `json:"taxiRank"`
+	// RivalID and RivalRank identify the competing request (or, for
+	// taxi-proposing runs, the competing taxi) a refusal or displacement
+	// was decided against, with its rank on the decider's list.
+	RivalID   int `json:"rivalId"`
+	RivalRank int `json:"rivalRank"`
+	// Outcome is the decision result ("accepted", "refused",
+	// "displaced", a rejection reason, …).
+	Outcome string `json:"outcome,omitempty"`
+	// Detail is a human-readable elaboration with the numeric evidence.
+	Detail string `json:"detail,omitempty"`
+	// Members lists the request IDs of a share group the event concerns.
+	Members []int `json:"members,omitempty"`
+	// Candidates carries the top-ranked acceptable taxis of a
+	// KindCandidates event.
+	Candidates []Candidate `json:"candidates,omitempty"`
+	// Acceptable and Pool are the dummy-threshold counts of a
+	// KindCandidates event: how many of the frame's Pool taxis sit ahead
+	// of the request's dummy partner.
+	Acceptable int `json:"acceptable,omitempty"`
+	Pool       int `json:"pool,omitempty"`
+}
+
+// Ev returns an Event of the given kind with every ID and rank field
+// initialised to -1 (unknown), ready for call sites to fill in.
+func Ev(kind Kind) Event {
+	return Event{Kind: kind, TaxiID: -1, ReqRank: -1, TaxiRank: -1, RivalID: -1, RivalRank: -1}
+}
+
+// Trace is the snapshot of one request's decision history.
+type Trace struct {
+	RequestID int     `json:"requestId"`
+	Events    []Event `json:"events"`
+	// DroppedEvents counts events beyond the per-trace cap that were
+	// recorded but not stored.
+	DroppedEvents int `json:"droppedEvents,omitempty"`
+}
+
+// trace is the mutable store behind one Trace snapshot.
+type trace struct {
+	events  []Event
+	dropped int
+}
+
+// Recorder is a bounded, concurrency-safe store of per-request decision
+// traces and per-frame stability certificates. All methods may be called
+// concurrently; recording sites should reach the process-wide instance
+// through Active so a disabled recorder costs one atomic load.
+type Recorder struct {
+	frame atomic.Int64 // current simulation frame, set by the engine
+
+	mu          sync.Mutex
+	seq         uint64
+	capacity    int
+	perTraceCap int
+	traces      map[int]*trace
+	order       []int // request IDs in first-touch order, for FIFO eviction
+
+	certCap   int
+	certs     map[int]*Certificate
+	certOrder []int
+	notes     map[int][]string
+	noteOrder []int // note frames in first-touch order, for FIFO eviction
+
+	evictedTraces uint64
+	droppedEvents uint64
+}
+
+// New returns an empty recorder retaining at most capacity request
+// traces of at most perTraceCap events each. Non-positive arguments take
+// the package defaults.
+func New(capacity, perTraceCap int) *Recorder {
+	r := &Recorder{
+		traces:  make(map[int]*trace),
+		certs:   make(map[int]*Certificate),
+		notes:   make(map[int][]string),
+		certCap: DefaultCertCap,
+	}
+	r.capacity = normCap(capacity, DefaultCapacity)
+	r.perTraceCap = normCap(perTraceCap, DefaultPerTraceCap)
+	return r
+}
+
+func normCap(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// SetCapacity bounds the number of retained request traces, evicting the
+// oldest if the ring already holds more. Non-positive restores the
+// default.
+func (r *Recorder) SetCapacity(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.capacity = normCap(n, DefaultCapacity)
+	r.evictLocked()
+}
+
+// SetPerTraceCap bounds the events retained per trace. Only future
+// events are affected. Non-positive restores the default.
+func (r *Recorder) SetPerTraceCap(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.perTraceCap = normCap(n, DefaultPerTraceCap)
+}
+
+// SetFrame publishes the engine's current frame number; events recorded
+// without an explicit frame are stamped with it.
+func (r *Recorder) SetFrame(n int) { r.frame.Store(int64(n)) }
+
+// Frame returns the last frame published by SetFrame.
+func (r *Recorder) Frame() int { return int(r.frame.Load()) }
+
+// Record appends one event to the request's trace, stamping the
+// recorder-global sequence number and (if the event carries no frame)
+// the current frame. A new request beyond the ring capacity evicts the
+// oldest trace; an event beyond the per-trace cap is counted as dropped.
+func (r *Recorder) Record(reqID int, e Event) {
+	if e.Frame == 0 {
+		e.Frame = r.Frame()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e.Seq = r.seq
+	t := r.traces[reqID]
+	if t == nil {
+		t = &trace{}
+		r.traces[reqID] = t
+		r.order = append(r.order, reqID)
+		r.evictLocked()
+	}
+	if len(t.events) >= r.perTraceCap {
+		t.dropped++
+		r.droppedEvents++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// evictLocked drops oldest traces until the ring fits its capacity.
+func (r *Recorder) evictLocked() {
+	for len(r.order) > r.capacity {
+		old := r.order[0]
+		r.order = r.order[1:]
+		delete(r.traces, old)
+		r.evictedTraces++
+	}
+}
+
+// Lifecycle records one simulator lifecycle event (assign, pickup,
+// requeue, …) on the request's trace.
+func (r *Recorder) Lifecycle(reqID, frame, taxiID int, kind Kind, detail string) {
+	e := Ev(kind)
+	e.Frame = frame
+	e.TaxiID = taxiID
+	e.Detail = detail
+	r.Record(reqID, e)
+}
+
+// Trace returns a snapshot of one request's decision history.
+func (r *Recorder) Trace(reqID int) (Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.traces[reqID]
+	if !ok {
+		return Trace{}, false
+	}
+	return Trace{
+		RequestID:     reqID,
+		Events:        append([]Event(nil), t.events...),
+		DroppedEvents: t.dropped,
+	}, true
+}
+
+// TraceIDs returns the retained request IDs, oldest first.
+func (r *Recorder) TraceIDs() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.order...)
+}
+
+// Snapshot returns every retained trace, oldest request first.
+func (r *Recorder) Snapshot() []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, len(r.order))
+	for _, id := range r.order {
+		t := r.traces[id]
+		out = append(out, Trace{
+			RequestID:     id,
+			Events:        append([]Event(nil), t.events...),
+			DroppedEvents: t.dropped,
+		})
+	}
+	return out
+}
+
+// AddFrameNote attaches a frame-level annotation (a degraded dispatch, a
+// taxi breakdown, a failed certificate) surfaced with the frame's
+// stability certificate.
+func (r *Recorder) AddFrameNote(frame int, note string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.notes[frame]; !ok {
+		r.noteOrder = append(r.noteOrder, frame)
+		// Notes ride the certificate ring's bound: beyond certCap
+		// annotated frames, the oldest frame's notes are evicted.
+		// noteOrder may hold frames whose notes a certificate eviction
+		// already removed; skip those.
+		for len(r.notes) >= r.certCap && len(r.noteOrder) > 0 {
+			old := r.noteOrder[0]
+			r.noteOrder = r.noteOrder[1:]
+			if old != frame {
+				delete(r.notes, old)
+			}
+		}
+	}
+	r.notes[frame] = append(r.notes[frame], note)
+}
+
+// PutCertificate stores one frame's stability certificate, evicting the
+// oldest beyond the certificate ring capacity.
+func (r *Recorder) PutCertificate(c *Certificate) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.certs[c.Frame]; !ok {
+		r.certOrder = append(r.certOrder, c.Frame)
+		for len(r.certOrder) > r.certCap {
+			old := r.certOrder[0]
+			r.certOrder = r.certOrder[1:]
+			delete(r.certs, old)
+			delete(r.notes, old)
+		}
+	}
+	r.certs[c.Frame] = c
+}
+
+// Certificate returns the stored certificate for one frame, with any
+// frame notes attached, or false when the frame is unknown (not yet
+// committed, evicted, or traced with recording off).
+func (r *Recorder) Certificate(frame int) (Certificate, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.certs[frame]
+	if !ok {
+		return Certificate{}, false
+	}
+	out := *c
+	out.Violations = append([]BlockingPair(nil), c.Violations...)
+	out.Notes = append(append([]string(nil), c.Notes...), r.notes[frame]...)
+	return out, true
+}
+
+// CertifiedFrames returns the frames holding a certificate, oldest
+// first.
+func (r *Recorder) CertifiedFrames() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.certOrder...)
+}
+
+// Stats summarises the recorder's occupancy for health surfaces.
+type Stats struct {
+	Traces        int    `json:"traces"`
+	Events        uint64 `json:"events"`
+	Certificates  int    `json:"certificates"`
+	EvictedTraces uint64 `json:"evictedTraces"`
+	DroppedEvents uint64 `json:"droppedEvents"`
+}
+
+// Stats returns the recorder's current occupancy and loss counters.
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Traces:        len(r.traces),
+		Events:        r.seq,
+		Certificates:  len(r.certs),
+		EvictedTraces: r.evictedTraces,
+		DroppedEvents: r.droppedEvents,
+	}
+}
+
+// Reset drops every trace, certificate, and note, keeping the configured
+// capacities.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq = 0
+	r.traces = make(map[int]*trace)
+	r.order = nil
+	r.certs = make(map[int]*Certificate)
+	r.certOrder = nil
+	r.notes = make(map[int][]string)
+	r.noteOrder = nil
+	r.evictedTraces = 0
+	r.droppedEvents = 0
+}

@@ -67,8 +67,14 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // interpolation inside the bucket holding the target rank. Values in
 // the +Inf bucket are attributed to the highest finite bound, so tail
 // quantiles are a lower-bound estimate there. Returns 0 with no
-// observations.
+// observations or a NaN q.
 func (h *Histogram) Quantile(q float64) float64 {
+	// NaN would sail through both clamps below (every comparison with
+	// NaN is false), make the target rank NaN, and fall out of the scan
+	// to report the top bound as if the data were all slow.
+	if math.IsNaN(q) {
+		return 0
+	}
 	counts := make([]uint64, len(h.buckets))
 	var total uint64
 	for i := range h.buckets {

@@ -65,6 +65,44 @@ func TestHistogramQuantileEmpty(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileExtremes(t *testing.T) {
+	h := NewRegistry().GetOrCreateHistogram("ext_seconds", 0.1, 1, 10)
+	h.Observe(0.05) // first bucket
+	h.Observe(5)    // third bucket
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q=0 = %v, want lower edge 0", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("q=1 = %v, want upper edge 10", got)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if lo, hi := h.Quantile(-3), h.Quantile(7); lo != h.Quantile(0) || hi != h.Quantile(1) {
+		t.Errorf("clamped quantiles = %v, %v", lo, hi)
+	}
+}
+
+func TestHistogramQuantileNaN(t *testing.T) {
+	h := NewRegistry().GetOrCreateHistogram("nan_seconds", 0.1, 1)
+	h.Observe(0.5)
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Errorf("Quantile(NaN) = %v, want 0 (not the top bound)", got)
+	}
+}
+
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	// Every observation past the last finite bound: all quantiles are
+	// the documented lower-bound estimate, the highest finite bound.
+	h := NewRegistry().GetOrCreateHistogram("inf_seconds", 0.1, 1)
+	for i := 0; i < 5; i++ {
+		h.Observe(50)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 1 {
+			t.Errorf("Quantile(%v) = %v, want 1", q, got)
+		}
+	}
+}
+
 func TestHistogramOverflowBucket(t *testing.T) {
 	h := NewRegistry().GetOrCreateHistogram("over_seconds", 0.1, 1)
 	h.Observe(100) // lands in +Inf

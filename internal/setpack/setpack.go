@@ -120,12 +120,25 @@ func Greedy(p Problem) []int {
 	return chosen
 }
 
+// Observer receives each accepted local-search move for decision
+// tracing: move is "add" for a (0,1)-addition or "swap" for a
+// (1,2)-exchange; removed and added hold the set indices leaving and
+// entering the packing. Callbacks run inside the search loop and must be
+// cheap; a nil Observer is free.
+type Observer func(move string, removed, added []int)
+
 // LocalSearch improves a greedy packing with exchange moves until a fixed
 // point: (0,1)-moves add any set disjoint from the packing; (1,2)-moves
 // remove one chosen set and add two disjoint sets that only conflicted
 // with it. The result is a packing of size at least 3/(max|c_k|+2) times
 // the optimum.
 func LocalSearch(p Problem) []int {
+	return LocalSearchObserved(p, nil)
+}
+
+// LocalSearchObserved is LocalSearch reporting each accepted exchange
+// move to o (which may be nil).
+func LocalSearchObserved(p Problem, o Observer) []int {
 	chosen := Greedy(p)
 	inPacking := make([]bool, len(p.Sets))
 	used := make([]int, p.N) // chosen set index occupying the element, or -1
@@ -171,6 +184,9 @@ func LocalSearch(p Problem) []int {
 			}
 			improved = true
 			moves++
+			if o != nil {
+				o("add", nil, []int{k})
+			}
 		}
 
 		// (1,2)-moves: for each chosen set c, collect candidate sets
@@ -226,6 +242,9 @@ func LocalSearch(p Problem) []int {
 			}
 			improved = true
 			moves++
+			if o != nil {
+				o("swap", []int{c}, []int{a, b})
+			}
 		}
 	}
 

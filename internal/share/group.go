@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/obs"
@@ -100,6 +101,7 @@ func FeasibleGroups(reqs []fleet.Request, m geo.Metric, cfg PackConfig) ([]Group
 		return nil, err
 	}
 	var groups []Group
+	rec := dtrace.Active()
 
 	near := func(a, b int) bool {
 		if cfg.PairRadius <= 0 {
@@ -115,12 +117,16 @@ func FeasibleGroups(reqs []fleet.Request, m geo.Metric, cfg PackConfig) ([]Group
 		}
 		plan, err := BestRoute(sub, m)
 		if err != nil {
+			traceGroup(rec, reqs, members, dtrace.KindGroupRejected, "route_error",
+				fmt.Sprintf("no feasible shared route: %v", err))
 			return Group{}, false
 		}
 		soloSum := 0.0
 		for g, idx := range members {
 			solo := reqs[idx].TripDistance(m)
-			if plan.Detour(g, solo) > cfg.Theta {
+			if d := plan.Detour(g, solo); d > cfg.Theta {
+				traceGroup(rec, reqs, members, dtrace.KindGroupRejected, "detour_exceeded",
+					fmt.Sprintf("rider r%d detour %.2f km exceeds θ=%.2f km on the best shared route", reqs[idx].ID, d, cfg.Theta))
 				return Group{}, false
 			}
 			soloSum += solo
@@ -128,8 +134,13 @@ func FeasibleGroups(reqs []fleet.Request, m geo.Metric, cfg PackConfig) ([]Group
 		if !cfg.AllowChaining && plan.Length >= soloSum-1e-9 {
 			// The "shared" route saves nothing over driving the
 			// trips one after another: a chain, not a share.
+			traceGroup(rec, reqs, members, dtrace.KindGroupRejected, "no_savings",
+				fmt.Sprintf("shared route %.2f km saves nothing over %.2f km of solo trips (chain)", plan.Length, soloSum))
 			return Group{}, false
 		}
+		traceGroup(rec, reqs, members, dtrace.KindGroupFormed, "feasible",
+			fmt.Sprintf("shared route %.2f km keeps every detour within θ=%.2f km, saving %.2f km vs solo trips",
+				plan.Length, cfg.Theta, soloSum-plan.Length))
 		return Group{Members: append([]int(nil), members...), Plan: plan}, true
 	}
 
@@ -200,6 +211,7 @@ func Pack(reqs []fleet.Request, m geo.Metric, cfg PackConfig) (PackResult, error
 	for k, g := range groups {
 		problem.Sets[k] = g.Members
 	}
+	rec := dtrace.Active()
 	var chosen []int
 	if cfg.ExactPacking {
 		budget := cfg.ExactNodeBudget
@@ -208,7 +220,7 @@ func Pack(reqs []fleet.Request, m geo.Metric, cfg PackConfig) (PackResult, error
 		}
 		chosen, _ = setpack.Exact(problem, budget)
 	} else {
-		chosen = setpack.LocalSearch(problem)
+		chosen = setpack.LocalSearchObserved(problem, packObserver(rec, reqs, groups))
 	}
 
 	res := PackResult{Groups: make([]Group, 0, len(chosen))}
@@ -216,6 +228,7 @@ func Pack(reqs []fleet.Request, m geo.Metric, cfg PackConfig) (PackResult, error
 	packedReqs := 0
 	for _, k := range chosen {
 		res.Groups = append(res.Groups, groups[k])
+		tracePick(rec, reqs, groups[k], cfg.Theta)
 		for _, idx := range groups[k].Members {
 			packed[idx] = true
 			packedReqs++

@@ -1,0 +1,73 @@
+package share
+
+import (
+	"fmt"
+
+	"stabledispatch/internal/dtrace"
+	"stabledispatch/internal/fleet"
+)
+
+// Decision tracing for Algorithm 3's packing stage. Group decisions are
+// recorded on every member's trace (a passenger asking "why did I ride
+// alone" needs the rejection of the groups they were considered for),
+// keyed by fleet request ID. All helpers are no-ops unless the caller
+// passed a live recorder.
+
+// memberIDs maps request indices into fleet request IDs.
+func memberIDs(reqs []fleet.Request, members []int) []int {
+	ids := make([]int, len(members))
+	for g, idx := range members {
+		ids[g] = reqs[idx].ID
+	}
+	return ids
+}
+
+// traceGroup records one feasible-group decision (formation or
+// rejection) on every member's trace.
+func traceGroup(rec *dtrace.Recorder, reqs []fleet.Request, members []int, kind dtrace.Kind, outcome, detail string) {
+	if rec == nil {
+		return
+	}
+	ids := memberIDs(reqs, members)
+	for _, id := range ids {
+		e := dtrace.Ev(kind)
+		e.Members = ids
+		e.Outcome = outcome
+		e.Detail = detail
+		rec.Record(id, e)
+	}
+}
+
+// tracePacking reports the set-packing outcome: a pack_pick event per
+// chosen group and, for the local-search solver, a pack_swap event per
+// accepted exchange move (wired through setpack.Observer by Pack).
+func tracePick(rec *dtrace.Recorder, reqs []fleet.Request, g Group, theta float64) {
+	if rec == nil {
+		return
+	}
+	detail := fmt.Sprintf("group packed: shared route %.2f km within θ=%.2f km, %d riders share one taxi",
+		g.Plan.Length, theta, len(g.Members))
+	traceGroup(rec, reqs, g.Members, dtrace.KindPackPick, "packed", detail)
+}
+
+// packObserver adapts setpack's move callbacks into pack_swap events on
+// the affected members' traces.
+func packObserver(rec *dtrace.Recorder, reqs []fleet.Request, groups []Group) func(move string, removed, added []int) {
+	if rec == nil {
+		return nil
+	}
+	return func(move string, removed, added []int) {
+		for _, k := range removed {
+			traceGroup(rec, reqs, groups[k].Members, dtrace.KindPackSwap, "swapped_out",
+				fmt.Sprintf("set packing %s move replaced this group with %d disjoint group(s)", move, len(added)))
+		}
+		for _, k := range added {
+			out := "swapped_in"
+			if move == "add" {
+				out = "added"
+			}
+			traceGroup(rec, reqs, groups[k].Members, dtrace.KindPackSwap, out,
+				fmt.Sprintf("set packing %s move brought this group into the packing", move))
+		}
+	}
+}

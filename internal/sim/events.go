@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/geo"
 )
 
@@ -102,12 +103,16 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 	return events, nil
 }
 
-// emit counts an event and forwards it to the configured sink, if any.
+// emit counts an event and forwards it to the configured sink and the
+// decision-trace layer, if active.
 func (s *Simulator) emit(e Event) {
 	if c := obsEvents[e.Kind]; c != nil {
 		c.Inc()
 	}
 	if s.cfg.Events != nil {
 		s.cfg.Events.Record(e)
+	}
+	if rec := dtrace.Active(); rec != nil {
+		s.traceEvent(rec, e)
 	}
 }

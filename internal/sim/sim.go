@@ -15,6 +15,7 @@ import (
 	"log/slog"
 	"sort"
 
+	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/obs"
@@ -353,6 +354,9 @@ func (s *Simulator) Done() bool {
 // dispatcher always sees the post-fault world and never assigns a
 // just-broken taxi.
 func (s *Simulator) Step() error {
+	if rec := dtrace.Active(); rec != nil {
+		rec.SetFrame(s.frame)
+	}
 	s.refreshOutages()
 	s.releaseArrivals()
 	s.applyFaults()
@@ -483,6 +487,9 @@ func (s *Simulator) view() *Frame {
 
 func (s *Simulator) dispatch() error {
 	if len(s.pending) == 0 {
+		if rec := dtrace.Active(); rec != nil {
+			rec.PutCertificate(dtrace.Trivial(s.frame, 0, len(s.taxis), "no pending requests: nothing to match, vacuously stable"))
+		}
 		return nil
 	}
 	frame := s.view()
@@ -495,6 +502,12 @@ func (s *Simulator) dispatch() error {
 		if err := s.apply(a, seenTaxi); err != nil {
 			return fmt.Errorf("sim: dispatcher %s frame %d: %w", s.cfg.Dispatcher.Name(), s.frame, err)
 		}
+	}
+	// Frame commit: the assignments are installed; audit the realized
+	// matching for stability while the pre-dispatch view is still in
+	// hand.
+	if rec := dtrace.Active(); rec != nil {
+		s.certifyFrame(rec, frame, assignments)
 	}
 	return nil
 }

@@ -20,7 +20,7 @@ func AllStableMatchings(mk *pref.Market, limit int) []Matching {
 	if limit <= 0 {
 		limit = math.MaxInt
 	}
-	state, prefs := passengerOptimalState(mk, nil)
+	state, prefs := passengerOptimalState(mk, nil, nil)
 	e := &enumerator{mk: mk, prefs: prefs, limit: limit}
 	e.results = append(e.results, state.match.Clone())
 	e.explore(state, 0)

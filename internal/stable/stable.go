@@ -108,7 +108,7 @@ func (s gsState) clone() gsState {
 // (Property 2). Requests and taxis whose preference order starts with the
 // dummy are never dispatched (Property 1).
 func PassengerOptimal(mk *pref.Market) Matching {
-	state, _ := passengerOptimalState(mk, nil)
+	state, _ := passengerOptimalState(mk, nil, nil)
 	obsMatchings.Inc()
 	return state.match
 }
@@ -116,8 +116,8 @@ func PassengerOptimal(mk *pref.Market) Matching {
 // passengerOptimalState runs Algorithm 1 and returns the full proposal
 // state, which Algorithm 2 continues from. prefs may be nil, in which
 // case the preference lists are computed here; otherwise it must be the
-// market's request preference lists.
-func passengerOptimalState(mk *pref.Market, prefs [][]int) (gsState, [][]int) {
+// market's request preference lists. o may be nil.
+func passengerOptimalState(mk *pref.Market, prefs [][]int, o *Observer) (gsState, [][]int) {
 	r, t := mk.NumRequests(), mk.NumTaxis()
 	if prefs == nil {
 		prefs = make([][]int, r)
@@ -130,15 +130,15 @@ func passengerOptimalState(mk *pref.Market, prefs [][]int) (gsState, [][]int) {
 		next:  make([]int, r),
 	}
 	for j := 0; j < r; j++ {
-		propose(mk, prefs, &state, j)
+		propose(mk, prefs, &state, j, o)
 	}
 	return state, prefs
 }
 
 // propose is the paper's Proposal/Refusal pair: request j proposes down
 // its preference list; a displaced request immediately re-proposes
-// (iteratively rather than recursively).
-func propose(mk *pref.Market, prefs [][]int, s *gsState, j int) {
+// (iteratively rather than recursively). o may be nil.
+func propose(mk *pref.Market, prefs [][]int, s *gsState, j int, o *Observer) {
 	proposals, displacements := uint64(0), uint64(0)
 	defer func() {
 		obsProposals.Add(proposals)
@@ -149,6 +149,7 @@ func propose(mk *pref.Market, prefs [][]int, s *gsState, j int) {
 		if s.next[active] >= len(prefs[active]) {
 			// Next entry is the dummy: active stays unserved.
 			s.match.ReqPartner[active] = Unmatched
+			o.exhausted(active)
 			return
 		}
 		i := prefs[active][s.next[active]]
@@ -162,6 +163,7 @@ func propose(mk *pref.Market, prefs [][]int, s *gsState, j int) {
 			// already guarantees mutual acceptability).
 			s.match.TaxiPartner[i] = active
 			s.match.ReqPartner[active] = i
+			o.proposal(active, i, Unmatched, "accepted")
 			return
 		}
 		if mk.TaxiPrefers(i, active, cur) {
@@ -171,11 +173,13 @@ func propose(mk *pref.Market, prefs [][]int, s *gsState, j int) {
 			s.match.ReqPartner[active] = i
 			s.match.ReqPartner[cur] = Unmatched
 			displacements++
+			o.proposal(active, i, cur, "displaced")
 			active = cur
 			continue
 		}
 		// Refusal, line 16: taxi keeps its partner; active proposes
 		// to its next entry.
+		o.proposal(active, i, cur, "refused")
 	}
 }
 
@@ -186,6 +190,12 @@ func propose(mk *pref.Market, prefs [][]int, s *gsState, j int) {
 // Algorithm 2 enumeration in tests) is exactly the matching the paper
 // calls NSTD-T.
 func TaxiOptimal(mk *pref.Market) Matching {
+	return taxiOptimal(mk, nil)
+}
+
+// taxiOptimal is the taxi-proposing deferred acceptance with optional
+// per-decision callbacks (o may be nil).
+func taxiOptimal(mk *pref.Market, o *Observer) Matching {
 	r, t := mk.NumRequests(), mk.NumTaxis()
 	prefs := make([][]int, t)
 	for i := 0; i < t; i++ {
@@ -199,6 +209,7 @@ func TaxiOptimal(mk *pref.Market) Matching {
 		for {
 			if next[active] >= len(prefs[active]) {
 				match.TaxiPartner[active] = Unmatched
+				o.exhausted(active)
 				break
 			}
 			j := prefs[active][next[active]]
@@ -209,6 +220,7 @@ func TaxiOptimal(mk *pref.Market) Matching {
 			if cur == Unmatched {
 				match.ReqPartner[j] = active
 				match.TaxiPartner[active] = j
+				o.proposal(active, j, Unmatched, "accepted")
 				break
 			}
 			if mk.ReqPrefers(j, active, cur) {
@@ -216,9 +228,11 @@ func TaxiOptimal(mk *pref.Market) Matching {
 				match.TaxiPartner[active] = j
 				match.TaxiPartner[cur] = Unmatched
 				displacements++
+				o.proposal(active, j, cur, "displaced")
 				active = cur
 				continue
 			}
+			o.proposal(active, j, cur, "refused")
 		}
 	}
 	obsProposals.Add(proposals)

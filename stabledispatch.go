@@ -38,6 +38,7 @@ import (
 
 	"stabledispatch/internal/carpool"
 	"stabledispatch/internal/dispatch"
+	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/exp"
 	"stabledispatch/internal/fault"
 	"stabledispatch/internal/fleet"
@@ -267,6 +268,46 @@ func SARPDispatcher(cfg CarpoolConfig) Dispatcher { return carpool.NewSARP(cfg) 
 
 // ILPDispatcher returns the integer-programming sharing baseline.
 func ILPDispatcher(cfg PackConfig) Dispatcher { return carpool.NewILP(cfg) }
+
+// Decision-provenance tracing types. The trace layer records why each
+// dispatch decision was taken — Gale–Shapley proposals and refusals with
+// both sides' preference ranks, share-group formation and rejection, and
+// a per-frame stability certificate (a Definition 1 blocking-pair scan
+// of the realized matching).
+type (
+	// TraceRecorder is a bounded ring of per-request decision traces.
+	TraceRecorder = dtrace.Recorder
+	// DecisionTrace is one request's causally ordered decision timeline.
+	DecisionTrace = dtrace.Trace
+	// TraceEvent is one recorded decision step.
+	TraceEvent = dtrace.Event
+	// StabilityCertificate is a frame-commit audit of the realized
+	// matching against Definition 1.
+	StabilityCertificate = dtrace.Certificate
+	// BlockingPair is one stability violation: a passenger-taxi pair
+	// that would rather elope than keep their partners.
+	BlockingPair = dtrace.BlockingPair
+)
+
+// SetDecisionTracing toggles the process-wide decision-trace layer.
+// Tracing is off by default; when off, instrumentation costs one atomic
+// load per site.
+func SetDecisionTracing(on bool) { dtrace.SetEnabled(on) }
+
+// DecisionTracingEnabled reports whether the trace layer is recording.
+func DecisionTracingEnabled() bool { return dtrace.Enabled() }
+
+// DecisionTracer returns the process-wide trace recorder that the
+// dispatchers and simulator record into while tracing is enabled.
+func DecisionTracer() *TraceRecorder { return dtrace.Default() }
+
+// CertifyStability audits a realized matching against Definition 1 under
+// the market's interest model: reqPartner[j] is the taxi index matched
+// to request j (−1 for unmatched), and reqIDs/taxiIDs translate market
+// indices to fleet IDs for the evidence.
+func CertifyStability(frame int, m *Market, reqPartner, reqIDs, taxiIDs []int) *StabilityCertificate {
+	return dtrace.Certify(frame, m, reqPartner, reqIDs, taxiIDs)
+}
 
 // Trace and workload types.
 type (

@@ -253,3 +253,78 @@ func TestFacadeOutagesAndEvents(t *testing.T) {
 		t.Errorf("event kinds = %v", kinds)
 	}
 }
+
+// TestFacadeDecisionTracing runs a traced simulation through the public
+// API: traces accumulate for dispatched requests, frames certify stable,
+// and CertifyStability flags a hand-crossed matching.
+func TestFacadeDecisionTracing(t *testing.T) {
+	SetDecisionTracing(true)
+	DecisionTracer().Reset()
+	defer func() {
+		SetDecisionTracing(false)
+		DecisionTracer().Reset()
+	}()
+	if !DecisionTracingEnabled() {
+		t.Fatal("tracing did not enable")
+	}
+
+	reqs, err := GenerateTrace(BostonConfig(15, 3))
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+	taxis, err := GenerateTaxis(Boston(), 25, 4)
+	if err != nil {
+		t.Fatalf("GenerateTaxis: %v", err)
+	}
+	s, err := NewSimulator(SimConfig{
+		Dispatcher: NSTDP(),
+		Params:     DefaultParams(),
+	}, taxis, reqs)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.ServedCount() == 0 {
+		t.Fatal("nothing served")
+	}
+
+	rec := DecisionTracer()
+	if len(rec.TraceIDs()) == 0 {
+		t.Fatal("no traces recorded")
+	}
+	frames := rec.CertifiedFrames()
+	if len(frames) == 0 {
+		t.Fatal("no frames certified")
+	}
+	for _, fr := range frames {
+		c, ok := rec.Certificate(fr)
+		if !ok {
+			t.Fatalf("certificate for frame %d vanished", fr)
+		}
+		if !c.Stable {
+			t.Errorf("frame %d certified unstable: %+v", fr, c.Violations)
+		}
+	}
+
+	// A deliberately crossed 2×2 matching is flagged with its blocking
+	// pair.
+	pair := []Request{
+		{ID: 10, Pickup: Point{X: 1}, Dropoff: Point{X: 5}},
+		{ID: 11, Pickup: Point{X: 8}, Dropoff: Point{X: 12}},
+	}
+	cabs := []Taxi{
+		{ID: 20, Pos: Point{X: 1}},
+		{ID: 21, Pos: Point{X: 8}},
+	}
+	inst, err := NewInstance(pair, cabs, EuclidMetric, UnboundedParams())
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	cert := CertifyStability(0, &inst.Market, []int{1, 0}, []int{10, 11}, []int{20, 21})
+	if cert.Stable || len(cert.Violations) == 0 {
+		t.Fatalf("crossed matching certified stable: %+v", cert)
+	}
+}
