@@ -22,6 +22,7 @@ import (
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/stable"
 	"stabledispatch/internal/trace"
+	"stabledispatch/internal/tseries"
 )
 
 func benchOptions() exp.Options {
@@ -251,6 +252,32 @@ func BenchmarkDispatchFrameInstrumented(b *testing.B) { benchmarkDispatchFrame(b
 // budget is ≤5% (BenchmarkDispatchFrame itself exercises that path: each
 // instrumentation site is one atomic load when disabled).
 func BenchmarkDispatchFrameTraced(b *testing.B) { benchmarkDispatchFrame(b, false, true) }
+
+// BenchmarkDispatchFrameRecorded measures the identical frame with a
+// per-frame KPI sample recorded into a tseries ring after each dispatch,
+// the way an instrumented Simulator.Step records one; compare against
+// BenchmarkDispatchFrame to bound the recorder overhead (budget: ≤5% —
+// one mutex acquisition plus a fixed-width struct copy per frame).
+func BenchmarkDispatchFrameRecorded(b *testing.B) {
+	was := obs.Enabled()
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(was)
+	f := benchFrame(b, 100, 400)
+	d := dispatch.NewNSTDP()
+	rec := tseries.New(tseries.Config{Capacity: 1024, Downsample: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := d.Dispatch(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("no assignments")
+		}
+		rec.Record(tseries.Sample{Frame: int64(i), Served: int64(len(out))})
+	}
+}
 
 // BenchmarkAblationMaxNet regenerates the taxi-threshold ablation sweep.
 func BenchmarkAblationMaxNet(b *testing.B) {

@@ -18,6 +18,7 @@
 //	GET    /v1/traces/{id}             full decision trace of one request
 //	GET    /v1/explain/{id}            why this taxi: ranks + rejected alternatives
 //	GET    /v1/frames/{n}/stability    blocking-pair certificate of frame n
+//	GET    /v1/timeseries              per-frame KPI series (?series=&from=&to=&step=&limit=&format=csv)
 //	GET    /v1/metrics        Prometheus text format
 //	GET    /healthz           uptime, frame, and occupancy counts
 //
@@ -47,6 +48,7 @@ import (
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/trace"
+	"stabledispatch/internal/tseries"
 )
 
 func main() {
@@ -71,6 +73,7 @@ func run(args []string) error {
 		frameDDL = fs.Duration("frame-deadline", 0, "per-frame dispatch compute deadline; overruns and panics degrade to greedy (0 = unbounded)")
 		dtraceOn = fs.Bool("dtrace", true, "record per-request decision traces and frame stability certificates")
 		traceCap = fs.Int("trace-capacity", dtrace.DefaultCapacity, "max request traces retained in the decision-trace ring")
+		kpiCap   = fs.Int("kpi-capacity", tseries.DefaultCapacity, "per-frame KPI samples retained for /v1/timeseries (0 disables recording)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,10 +104,18 @@ func run(args []string) error {
 		d = dispatch.NewResilient(d, nil, *frameDDL)
 	}
 	events := newEventBuffer(10000)
+	// The daemon's ring is a sliding window (no downsampling): operators
+	// polling /v1/timeseries care about the recent trajectory, and the
+	// memory bound is kpi-capacity fixed-width samples.
+	var kpi *tseries.Recorder
+	if *kpiCap > 0 {
+		kpi = tseries.New(tseries.Config{Capacity: *kpiCap})
+	}
 	s, err := sim.New(sim.Config{
 		Params:     pref.DefaultParams(),
 		Dispatcher: d,
 		Events:     events,
+		KPI:        kpi,
 	}, fleetTaxis, nil)
 	if err != nil {
 		return err

@@ -56,6 +56,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/chaos", s.postChaos)
 	mux.HandleFunc("GET /v1/events", s.getEvents)
 	mux.HandleFunc("GET /v1/metrics", s.getMetrics)
+	mux.HandleFunc("GET /v1/timeseries", s.getTimeseries)
 	mux.HandleFunc("GET /v1/traces/{id}", s.getTrace)
 	mux.HandleFunc("GET /v1/explain/{id}", s.getExplain)
 	mux.HandleFunc("GET /v1/frames/{n}/stability", s.getStability)

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"stabledispatch/internal/stats"
+)
+
+// benchSchema versions the benchmark file format; bump on any field
+// change so a gate never silently compares incompatible runs.
+const benchSchema = "stabledispatch-bench-1"
+
+// benchFile is the machine-readable output of one perfbench run.
+type benchFile struct {
+	Schema    string           `json:"schema"`
+	Go        string           `json:"go"`
+	Scenarios []scenarioResult `json:"scenarios"`
+}
+
+// scenarioResult is one matrix cell's measurements, averaged over
+// replicas (Seed is the base seed; replica r runs at Seed + r*100003).
+type scenarioResult struct {
+	Name     string `json:"name"`
+	Algo     string `json:"algo"`
+	Scale    string `json:"scale"`
+	Seed     int64  `json:"seed"`
+	Replicas int    `json:"replicas"`
+
+	Frames   int `json:"frames"`
+	Requests int `json:"requests"`
+	Taxis    int `json:"taxis"`
+
+	// Runtime cost.
+	NsPerFrame     float64 `json:"nsPerFrame"`
+	AllocsPerFrame float64 `json:"allocsPerFrame"`
+	RingBytes      int     `json:"ringBytes"`
+
+	// End-of-run KPIs (the paper's quality metrics).
+	KPIs kpiResult `json:"kpis"`
+}
+
+type kpiResult struct {
+	Served       float64 `json:"served"`
+	Expired      float64 `json:"expired"`
+	SharedRides  float64 `json:"sharedRides"`
+	DelayMean    float64 `json:"delayMean"`
+	DelayP95     float64 `json:"delayP95"`
+	PassDissMean float64 `json:"passDissMean"`
+	TaxiDissMean float64 `json:"taxiDissMean"`
+}
+
+// thresholds are the fractional regression budgets per metric class.
+type thresholds struct {
+	// Ns bounds ns/frame growth (wall clock is the noisiest metric, so
+	// its default budget is the widest).
+	Ns float64
+	// Alloc bounds allocs/frame and ring-bytes growth.
+	Alloc float64
+	// KPI bounds quality-metric movement (delay up, served down, …).
+	KPI float64
+}
+
+func defaultThresholds() thresholds {
+	return thresholds{Ns: 0.5, Alloc: 0.2, KPI: 0.1}
+}
+
+// metric describes one compared quantity: how to read it from a
+// scenario and which direction is a regression.
+type metric struct {
+	name       string
+	get        func(scenarioResult) float64
+	higherBad  bool
+	thresholdF func(thresholds) float64
+}
+
+// metrics is the fixed comparison set. Quality metrics where "more" is
+// fine (shared rides) or that mirror another (expired vs served) are
+// deliberately absent: the gate is for regressions, not for change
+// detection.
+var metrics = []metric{
+	{"ns_per_frame", func(s scenarioResult) float64 { return s.NsPerFrame }, true, func(t thresholds) float64 { return t.Ns }},
+	{"allocs_per_frame", func(s scenarioResult) float64 { return s.AllocsPerFrame }, true, func(t thresholds) float64 { return t.Alloc }},
+	{"ring_bytes", func(s scenarioResult) float64 { return float64(s.RingBytes) }, true, func(t thresholds) float64 { return t.Alloc }},
+	{"served", func(s scenarioResult) float64 { return s.KPIs.Served }, false, func(t thresholds) float64 { return t.KPI }},
+	{"delay_mean", func(s scenarioResult) float64 { return s.KPIs.DelayMean }, true, func(t thresholds) float64 { return t.KPI }},
+	{"delay_p95", func(s scenarioResult) float64 { return s.KPIs.DelayP95 }, true, func(t thresholds) float64 { return t.KPI }},
+	{"pass_diss_mean", func(s scenarioResult) float64 { return s.KPIs.PassDissMean }, true, func(t thresholds) float64 { return t.KPI }},
+	{"taxi_diss_mean", func(s scenarioResult) float64 { return s.KPIs.TaxiDissMean }, true, func(t thresholds) float64 { return t.KPI }},
+}
+
+// delta is one (scenario, metric) comparison against the baseline.
+type delta struct {
+	Scenario  string
+	Metric    string
+	Base, New float64
+	// Frac is the signed change in the regression direction: positive
+	// means worse, with 1.0 = 100% worse.
+	Frac      float64
+	Threshold float64
+	Regressed bool
+}
+
+// compare diffs the current run against a baseline, scenario-by-
+// scenario. Scenarios present on only one side are skipped: the gate
+// compares like with like (a quick-only PR run against a full baseline
+// gates just the quick rows).
+func compare(cur, base benchFile, th thresholds) []delta {
+	baseByName := make(map[string]scenarioResult, len(base.Scenarios))
+	for _, s := range base.Scenarios {
+		baseByName[s.Name] = s
+	}
+	var out []delta
+	for _, s := range cur.Scenarios {
+		b, ok := baseByName[s.Name]
+		if !ok {
+			continue
+		}
+		for _, m := range metrics {
+			oldV, newV := m.get(b), m.get(s)
+			d := delta{
+				Scenario:  s.Name,
+				Metric:    m.name,
+				Base:      oldV,
+				New:       newV,
+				Frac:      worseFrac(oldV, newV, m.higherBad),
+				Threshold: m.thresholdF(th),
+			}
+			d.Regressed = d.Frac > d.Threshold
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// worseFrac is the fractional movement in the bad direction. A zero
+// baseline cannot anchor a ratio: any appearance from zero counts as a
+// 100% regression (so e.g. delay_mean going 0 → 3 trips a 10% budget),
+// and zero-to-zero is no change.
+func worseFrac(base, cur float64, higherBad bool) float64 {
+	if !higherBad {
+		base, cur = -base, -cur
+	}
+	diff := cur - base
+	switch {
+	case diff == 0:
+		return 0
+	case base == 0:
+		if diff > 0 {
+			return 1
+		}
+		return -1
+	}
+	f := diff / base
+	if base < 0 {
+		f = -f
+	}
+	return f
+}
+
+func regressionCount(ds []delta) int {
+	n := 0
+	for _, d := range ds {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// printDeltas renders the comparison table, regression rows flagged.
+func printDeltas(w io.Writer, ds []delta) error {
+	if len(ds) == 0 {
+		_, err := fmt.Fprintln(w, "no overlapping scenarios to compare")
+		return err
+	}
+	tb := stats.Table{
+		Title:   "perfbench deltas vs baseline (+ = worse)",
+		Columns: []string{"scenario", "metric", "base", "new", "delta", "budget", ""},
+	}
+	for _, d := range ds {
+		mark := ""
+		if d.Regressed {
+			mark = "REGRESSED"
+		}
+		tb.AddRow(d.Scenario, d.Metric,
+			stats.F(d.Base), stats.F(d.New),
+			fmt.Sprintf("%+.1f%%", d.Frac*100),
+			fmt.Sprintf("%.0f%%", d.Threshold*100),
+			mark)
+	}
+	return tb.Render(w)
+}
+
+// config is the parsed flag set.
+type config struct {
+	quick        bool
+	replicas     int
+	outPath      string
+	baselinePath string
+	th           thresholds
+	ov           overrides
+}
+
+func parseFlags(args []string) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
+	fs.BoolVar(&cfg.quick, "quick", false, "run only the quick-scale scenarios (the CI configuration)")
+	fs.IntVar(&cfg.replicas, "replicas", 1, "replicas per scenario, averaged (derived seeds)")
+	fs.StringVar(&cfg.outPath, "out", "", "write the benchmark JSON to this file")
+	fs.StringVar(&cfg.baselinePath, "baseline", "", "compare against this benchmark file and fail on regression")
+	def := defaultThresholds()
+	fs.Float64Var(&cfg.th.Ns, "max-ns-regress", def.Ns, "allowed fractional ns/frame growth before failing")
+	fs.Float64Var(&cfg.th.Alloc, "max-alloc-regress", def.Alloc, "allowed fractional allocs/frame and ring-bytes growth")
+	fs.Float64Var(&cfg.th.KPI, "max-kpi-regress", def.KPI, "allowed fractional KPI degradation (delay up, served down)")
+	fs.IntVar(&cfg.ov.frames, "frames", 0, "override every scenario's frame horizon (0 = scenario default)")
+	fs.Float64Var(&cfg.ov.volScale, "vol-scale", 0, "override every scenario's volume scale (0 = scenario default)")
+	fs.Float64Var(&cfg.ov.taxiScale, "taxi-scale", 0, "override every scenario's taxi scale (0 = scenario default)")
+	fs.Int64Var(&cfg.ov.seed, "seed", 0, "override the base seed (0 = scenario default)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if fs.NArg() > 0 {
+		return cfg, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.th.Ns <= 0 || cfg.th.Alloc <= 0 || cfg.th.KPI <= 0 {
+		return cfg, fmt.Errorf("regression thresholds must be positive")
+	}
+	return cfg, nil
+}

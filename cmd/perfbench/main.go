@@ -1,0 +1,269 @@
+// Command perfbench runs a fixed scenario matrix over the simulator and
+// writes a machine-readable benchmark file, optionally gating against a
+// previous run:
+//
+//	perfbench -out BENCH_seed.json                    # full matrix
+//	perfbench -quick -out BENCH_pr.json               # quick scale only
+//	perfbench -quick -baseline BENCH_seed.json        # regression gate
+//
+// The matrix crosses the paper's headline algorithms (NSTD-P, NSTD-T,
+// STD-P, Greedy) with two scales: Quick (two simulated hours at a tenth
+// of the Boston volume, for CI) and paper (one full simulated day). Each
+// scenario reports runtime cost (ns/frame, allocs/frame, KPI-ring bytes)
+// and end-of-run KPIs with seed and replica provenance, all measured
+// through the same internal/tseries recorder that feeds /v1/timeseries.
+//
+// With -baseline the new run is compared metric-by-metric against the
+// previous file; the delta table is printed and the exit status is
+// non-zero when any regression exceeds its threshold (-max-ns-regress,
+// -max-alloc-regress, -max-kpi-regress, all fractional).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"stabledispatch/internal/dispatch"
+	"stabledispatch/internal/exp"
+	"stabledispatch/internal/share"
+	"stabledispatch/internal/sim"
+	"stabledispatch/internal/trace"
+	"stabledispatch/internal/tseries"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+}
+
+// scenario is one cell of the benchmark matrix.
+type scenario struct {
+	name  string // e.g. "quick/nstd-p"
+	algo  string
+	scale string // "quick" or "paper"
+	opts  exp.Options
+}
+
+// matrix builds the fixed scenario set. quickOnly drops the paper-scale
+// rows (the CI configuration); the overrides shrink every scenario for
+// tests.
+func matrix(quickOnly bool, ov overrides) []scenario {
+	algos := []string{"nstd-p", "nstd-t", "std-p", "greedy"}
+	scales := []struct {
+		name string
+		opts exp.Options
+	}{{"quick", exp.QuickOptions()}}
+	if !quickOnly {
+		scales = append(scales, struct {
+			name string
+			opts exp.Options
+		}{"paper", exp.DefaultOptions()})
+	}
+	var out []scenario
+	for _, sc := range scales {
+		o := ov.apply(sc.opts)
+		for _, algo := range algos {
+			out = append(out, scenario{
+				name:  sc.name + "/" + algo,
+				algo:  algo,
+				scale: sc.name,
+				opts:  o,
+			})
+		}
+	}
+	return out
+}
+
+// overrides shrink or reseed every scenario (test and smoke knobs).
+type overrides struct {
+	frames    int
+	volScale  float64
+	taxiScale float64
+	seed      int64
+}
+
+func (ov overrides) apply(o exp.Options) exp.Options {
+	if ov.frames > 0 {
+		o.Frames = ov.frames
+	}
+	if ov.volScale > 0 {
+		o.VolumeScale = ov.volScale
+	}
+	if ov.taxiScale > 0 {
+		o.TaxiScale = ov.taxiScale
+	}
+	if ov.seed != 0 {
+		o.Seed = ov.seed
+	}
+	return o
+}
+
+func perfDispatcher(name string, theta float64) (sim.Dispatcher, error) {
+	switch name {
+	case "nstd-p":
+		return dispatch.NewNSTDP(), nil
+	case "nstd-t":
+		return dispatch.NewNSTDT(), nil
+	case "greedy":
+		return dispatch.NewGreedy(), nil
+	case "std-p":
+		return dispatch.NewSTDP(share.PackConfig{
+			Theta: theta, MaxGroupSize: 3, PairRadius: 2 * theta,
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// runScenario simulates one matrix cell, averaging over replicas with
+// derived seeds (the same large-prime stride internal/exp uses).
+func runScenario(sc scenario, replicas int, progress io.Writer) (scenarioResult, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	res := scenarioResult{
+		Name:     sc.name,
+		Algo:     sc.algo,
+		Scale:    sc.scale,
+		Seed:     sc.opts.Seed,
+		Replicas: replicas,
+	}
+	for r := 0; r < replicas; r++ {
+		o := sc.opts
+		o.Seed += int64(r) * 100003
+		reqs, taxis, err := exp.Workload(trace.Boston(), 13500, 200, o)
+		if err != nil {
+			return res, err
+		}
+		if len(reqs) == 0 {
+			return res, fmt.Errorf("%s: workload generated no requests (horizon or volume too small)", sc.name)
+		}
+		d, err := perfDispatcher(sc.algo, o.Theta)
+		if err != nil {
+			return res, err
+		}
+		// Capacity covers the horizon plus the drain tail (the run
+		// extends past Frames until onboard passengers alight), so no
+		// sample is evicted and the per-frame means are unbiased.
+		rec := tseries.New(tseries.Config{Capacity: 4*o.Frames + 64})
+		s, err := sim.New(sim.Config{
+			Params:         o.Params,
+			Dispatcher:     d,
+			PatienceFrames: o.PatienceMinutes,
+			KPI:            rec,
+		}, taxis, reqs)
+		if err != nil {
+			return res, err
+		}
+		start := time.Now()
+		rep, err := s.Run()
+		if err != nil {
+			return res, err
+		}
+		wall := time.Since(start)
+		samples := rec.Snapshot()
+		if len(samples) == 0 {
+			return res, fmt.Errorf("%s: no KPI samples recorded", sc.name)
+		}
+		var allocs float64
+		for _, smp := range samples {
+			allocs += float64(smp.Allocs)
+		}
+		last := samples[len(samples)-1]
+		res.Frames += rep.Frames
+		res.Requests += len(reqs)
+		res.Taxis = len(taxis)
+		res.NsPerFrame += float64(wall.Nanoseconds()) / float64(rep.Frames)
+		res.AllocsPerFrame += allocs / float64(len(samples))
+		res.RingBytes = rec.MemoryBytes()
+		res.KPIs.Served += float64(last.Served)
+		res.KPIs.Expired += float64(last.Expired)
+		res.KPIs.SharedRides += float64(last.SharedRides)
+		res.KPIs.DelayMean += last.DelayMean
+		res.KPIs.DelayP95 += last.DelayP95
+		res.KPIs.PassDissMean += last.PassDissMean
+		res.KPIs.TaxiDissMean += last.TaxiDissMean
+	}
+	n := float64(replicas)
+	res.Frames /= replicas
+	res.Requests /= replicas
+	res.NsPerFrame /= n
+	res.AllocsPerFrame /= n
+	res.KPIs.Served /= n
+	res.KPIs.Expired /= n
+	res.KPIs.SharedRides /= n
+	res.KPIs.DelayMean /= n
+	res.KPIs.DelayP95 /= n
+	res.KPIs.PassDissMean /= n
+	res.KPIs.TaxiDissMean /= n
+	if progress != nil {
+		fmt.Fprintf(progress, "perfbench: %-14s %6d frames  %8.2f ms/frame  served %.0f\n",
+			sc.name, res.Frames, res.NsPerFrame/1e6, res.KPIs.Served)
+	}
+	return res, nil
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	file := benchFile{
+		Schema: benchSchema,
+		Go:     runtime.Version(),
+	}
+	for _, sc := range matrix(cfg.quick, cfg.ov) {
+		res, err := runScenario(sc, cfg.replicas, os.Stderr)
+		if err != nil {
+			return err
+		}
+		file.Scenarios = append(file.Scenarios, res)
+	}
+	if cfg.outPath != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d scenarios)\n", cfg.outPath, len(file.Scenarios))
+	}
+	if cfg.baselinePath == "" {
+		return nil
+	}
+	base, err := readBenchFile(cfg.baselinePath)
+	if err != nil {
+		return err
+	}
+	deltas := compare(file, base, cfg.th)
+	if err := printDeltas(out, deltas); err != nil {
+		return err
+	}
+	if n := regressionCount(deltas); n > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond thresholds vs %s", n, cfg.baselinePath)
+	}
+	fmt.Fprintf(out, "no regressions vs %s\n", cfg.baselinePath)
+	return nil
+}
+
+func readBenchFile(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return f, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, benchSchema)
+	}
+	return f, nil
+}

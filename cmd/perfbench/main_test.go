@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleResult(name string) scenarioResult {
+	return scenarioResult{
+		Name: name, Algo: "nstd-p", Scale: "quick",
+		Seed: 42, Replicas: 1,
+		Frames: 120, Requests: 100, Taxis: 20,
+		NsPerFrame: 1e6, AllocsPerFrame: 5000, RingBytes: 1 << 16,
+		KPIs: kpiResult{
+			Served: 90, DelayMean: 2, DelayP95: 6,
+			PassDissMean: 1.5, TaxiDissMean: 2.5,
+		},
+	}
+}
+
+func sampleFile(names ...string) benchFile {
+	f := benchFile{Schema: benchSchema, Go: "go1.22"}
+	for _, n := range names {
+		f.Scenarios = append(f.Scenarios, sampleResult(n))
+	}
+	return f
+}
+
+// TestCompareDetectsInjectedRegression gates the gate: a synthetic
+// slowdown past the budget must be flagged, one inside it must not.
+func TestCompareDetectsInjectedRegression(t *testing.T) {
+	base := sampleFile("quick/nstd-p")
+	th := defaultThresholds()
+
+	identical := compare(base, base, th)
+	if n := regressionCount(identical); n != 0 {
+		t.Fatalf("identical runs report %d regressions", n)
+	}
+
+	slow := sampleFile("quick/nstd-p")
+	slow.Scenarios[0].NsPerFrame = base.Scenarios[0].NsPerFrame * (1 + th.Ns + 0.1)
+	ds := compare(slow, base, th)
+	if n := regressionCount(ds); n != 1 {
+		t.Fatalf("injected ns/frame regression: %d flagged, want 1", n)
+	}
+	for _, d := range ds {
+		if d.Regressed && d.Metric != "ns_per_frame" {
+			t.Errorf("wrong metric flagged: %s", d.Metric)
+		}
+	}
+
+	within := sampleFile("quick/nstd-p")
+	within.Scenarios[0].NsPerFrame = base.Scenarios[0].NsPerFrame * (1 + th.Ns/2)
+	if n := regressionCount(compare(within, base, th)); n != 0 {
+		t.Errorf("within-budget slowdown flagged (%d regressions)", n)
+	}
+
+	// Served is lower-is-worse: a drop past the KPI budget regresses, a
+	// rise never does.
+	dropped := sampleFile("quick/nstd-p")
+	dropped.Scenarios[0].KPIs.Served = base.Scenarios[0].KPIs.Served * (1 - th.KPI - 0.05)
+	if n := regressionCount(compare(dropped, base, th)); n != 1 {
+		t.Errorf("served drop: %d regressions, want 1", n)
+	}
+	rose := sampleFile("quick/nstd-p")
+	rose.Scenarios[0].KPIs.Served = base.Scenarios[0].KPIs.Served * 2
+	if n := regressionCount(compare(rose, base, th)); n != 0 {
+		t.Errorf("served rise flagged as regression")
+	}
+}
+
+// TestCompareSkipsUnmatchedScenarios keeps a quick-only run comparable
+// against a full baseline: rows on only one side are ignored.
+func TestCompareSkipsUnmatchedScenarios(t *testing.T) {
+	base := sampleFile("quick/nstd-p", "paper/nstd-p")
+	cur := sampleFile("quick/nstd-p", "quick/new-algo")
+	ds := compare(cur, base, defaultThresholds())
+	for _, d := range ds {
+		if d.Scenario != "quick/nstd-p" {
+			t.Errorf("compared unmatched scenario %s", d.Scenario)
+		}
+	}
+	if len(ds) != len(metrics) {
+		t.Errorf("%d deltas, want %d (one scenario)", len(ds), len(metrics))
+	}
+}
+
+func TestWorseFrac(t *testing.T) {
+	cases := []struct {
+		base, cur float64
+		higherBad bool
+		want      float64
+	}{
+		{100, 150, true, 0.5},   // 50% slower
+		{100, 50, true, -0.5},   // improvement is negative
+		{100, 50, false, 0.5},   // served halved = 50% worse
+		{100, 150, false, -0.5}, // served up = improvement
+		{0, 0, true, 0},
+		{0, 3, true, 1},   // appeared from zero = 100% worse
+		{0, 3, false, -1}, // served appeared = improvement
+	}
+	for _, tc := range cases {
+		if got := worseFrac(tc.base, tc.cur, tc.higherBad); got != tc.want {
+			t.Errorf("worseFrac(%v,%v,%v) = %v, want %v", tc.base, tc.cur, tc.higherBad, got, tc.want)
+		}
+	}
+}
+
+func TestParseFlagErrors(t *testing.T) {
+	if _, err := parseFlags([]string{"-max-ns-regress", "0"}); err == nil {
+		t.Error("accepted zero threshold")
+	}
+	if _, err := parseFlags([]string{"stray"}); err == nil {
+		t.Error("accepted positional argument")
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Error("accepted unknown flag")
+	}
+}
+
+// tinyArgs shrinks every scenario far below Quick scale so the full
+// matrix runs in well under a second.
+func tinyArgs(extra ...string) []string {
+	return append([]string{
+		"-quick", "-frames", "10", "-vol-scale", "0.3", "-taxi-scale", "0.05",
+	}, extra...)
+}
+
+// TestRunWritesBenchFile runs the (shrunken) quick matrix end to end and
+// checks the schema-versioned output.
+func TestRunWritesBenchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var sb strings.Builder
+	if err := run(tinyArgs("-out", path), &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := readBenchFile(path)
+	if err != nil {
+		t.Fatalf("readBenchFile: %v", err)
+	}
+	if f.Schema != benchSchema {
+		t.Errorf("schema %q", f.Schema)
+	}
+	if len(f.Scenarios) != 4 {
+		t.Fatalf("%d scenarios, want 4 quick rows", len(f.Scenarios))
+	}
+	for _, s := range f.Scenarios {
+		if s.NsPerFrame <= 0 || s.Frames < 10 || s.Taxis <= 0 {
+			t.Errorf("%s: implausible measurements %+v", s.Name, s)
+		}
+		if s.RingBytes <= 0 {
+			t.Errorf("%s: ring bytes %d", s.Name, s.RingBytes)
+		}
+		if s.Seed != 42 || s.Replicas != 1 {
+			t.Errorf("%s: provenance seed=%d replicas=%d", s.Name, s.Seed, s.Replicas)
+		}
+	}
+}
+
+// TestRunBaselineGate replays the same seed against its own output
+// (must pass with wide perf budgets — the sim is deterministic, so the
+// KPIs are identical) and then against a doctored baseline with better
+// KPIs (must fail).
+func TestRunBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_base.json")
+	var sb strings.Builder
+	if err := run(tinyArgs("-out", path), &sb); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	// Wall-clock and alloc counts are machine noise at this scale; open
+	// those budgets wide and gate only the deterministic KPIs.
+	pass := tinyArgs("-baseline", path, "-max-ns-regress", "1000", "-max-alloc-regress", "1000")
+	sb.Reset()
+	if err := run(pass, &sb); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "no regressions") {
+		t.Errorf("missing pass message:\n%s", sb.String())
+	}
+
+	// Doctor the baseline: pretend it served far more passengers.
+	base, err := readBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Scenarios {
+		base.Scenarios[i].KPIs.Served = base.Scenarios[i].KPIs.Served*10 + 100
+	}
+	doctored := filepath.Join(dir, "BENCH_doctored.json")
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(doctored, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fail := tinyArgs("-baseline", doctored, "-max-ns-regress", "1000", "-max-alloc-regress", "1000")
+	sb.Reset()
+	err = run(fail, &sb)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("doctored baseline: err = %v, want regression failure", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("delta table missing REGRESSED flag:\n%s", sb.String())
+	}
+}
+
+// TestReadBenchFileRejectsBadSchema guards the version gate.
+func TestReadBenchFileRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other","scenarios":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBenchFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("err = %v, want schema mismatch", err)
+	}
+}

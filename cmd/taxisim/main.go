@@ -6,6 +6,7 @@
 //	taxisim -algo nstd-p,greedy,mincost    # side-by-side comparison
 //	taxisim -algo all                      # every algorithm
 //	taxisim -algo nstd-p -trace-out decisions.json   # Chrome trace of dispatch decisions
+//	taxisim -algo nstd-p -kpi-out kpi.csv            # per-frame KPI time series
 //
 // Algorithms: nstd-p, nstd-t, nstd-c, nstd-m, greedy, mincost, bottleneck
 // (non-sharing); std-p, std-t, raii, sarp, ilp (sharing).
@@ -29,6 +30,7 @@ import (
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/stats"
 	"stabledispatch/internal/trace"
+	"stabledispatch/internal/tseries"
 )
 
 func main() {
@@ -53,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		patience  = fs.Int("patience", 0, "minutes a passenger waits before abandoning (0 = forever)")
 		eventPath = fs.String("events", "", "write a JSONL lifecycle event log to this file")
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event JSON of dispatch decisions to this file (single algorithm only)")
+		kpiOut    = fs.String("kpi-out", "", "write the per-frame KPI time series as CSV to this file (single algorithm only)")
 		traceCap  = fs.Int("trace-capacity", dtrace.DefaultCapacity, "max request traces retained when -trace-out is set")
 
 		faultSeed     = fs.Int64("fault-seed", 0, "seed for the fault-injection schedule (0 = derive from -seed)")
@@ -154,6 +157,19 @@ func run(args []string, out io.Writer) error {
 		dtrace.Default().SetCapacity(*traceCap)
 		defer dtrace.SetEnabled(false)
 	}
+	var kpi *tseries.Recorder
+	if *kpiOut != "" {
+		// One CSV describes one run; a comparison would need a file per
+		// algorithm.
+		if len(names) > 1 {
+			return fmt.Errorf("-kpi-out requires a single algorithm, got %d", len(names))
+		}
+		// Downsampling keeps the whole-run trajectory bounded: a paper-
+		// scale day (1440 frames) fits losslessly, and longer replays
+		// compact to every 2nd/4th/... frame instead of dropping the
+		// start of the day.
+		kpi = tseries.New(tseries.Config{Capacity: 4096, Downsample: true})
+	}
 	var reports []*sim.Report
 	for _, name := range names {
 		d, err := dispatcherByName(strings.TrimSpace(name), *theta)
@@ -170,6 +186,7 @@ func run(args []string, out io.Writer) error {
 			PatienceFrames: *patience,
 			Events:         events,
 			Faults:         faults,
+			KPI:            kpi,
 		}, fleetTaxis, reqs)
 		if err != nil {
 			return err
@@ -185,10 +202,29 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *kpiOut != "" {
+		if err := writeKPISeries(*kpiOut, kpi); err != nil {
+			return err
+		}
+	}
 	if len(reports) == 1 {
 		return printSummary(out, reports[0], len(reqs), *taxis)
 	}
 	return printComparison(out, reports, len(reqs), *taxis)
+}
+
+// writeKPISeries dumps the run's per-frame KPI trajectory as CSV, every
+// known series as one column.
+func writeKPISeries(path string, rec *tseries.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tseries.WriteCSV(f, rec.Snapshot(), tseries.SeriesNames); err != nil {
+		f.Close()
+		return fmt.Errorf("write kpi series %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // writeChromeTrace dumps the run's decision traces in the Chrome

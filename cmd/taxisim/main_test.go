@@ -237,3 +237,49 @@ func TestRunRejectsBadFaultConfig(t *testing.T) {
 		t.Error("accepted negative cancel rate")
 	}
 }
+
+func TestRunWritesKPISeries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kpi.csv")
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "nstd-p", "-taxis", "6", "-frames", "10",
+		"-volume", "1500", "-seed", "7", "-kpi-out", path,
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Header plus at least the requested horizon of frames (the run may
+	// extend past -frames to drain onboard passengers).
+	if len(lines) < 11 {
+		t.Fatalf("%d CSV lines, want header + >=10 frames", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "frame,delay_mean,") {
+		t.Errorf("header %q", lines[0])
+	}
+	cols := strings.Count(lines[0], ",")
+	for i, line := range lines[1:] {
+		if strings.Count(line, ",") != cols {
+			t.Errorf("row %d has %d columns, header has %d", i, strings.Count(line, ","), cols)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "0,") {
+		t.Errorf("first row %q, want frame 0", lines[1])
+	}
+}
+
+func TestKPIOutRejectsMultiAlgorithm(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "nstd-p,greedy", "-taxis", "4", "-frames", "5",
+		"-kpi-out", filepath.Join(t.TempDir(), "kpi.csv"),
+	}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "single algorithm") {
+		t.Errorf("err = %v, want single-algorithm rejection", err)
+	}
+}

@@ -19,7 +19,7 @@ func AblationMaxNet(o Options) (Figure, error) {
 	if err := o.Validate(); err != nil {
 		return Figure{}, err
 	}
-	reqs, taxis, err := workload(trace.Boston(), 13500, 200, o)
+	reqs, taxis, err := Workload(trace.Boston(), 13500, 200, o)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -64,7 +64,7 @@ func AblationTheta(o Options) (Figure, error) {
 	if err := o.Validate(); err != nil {
 		return Figure{}, err
 	}
-	reqs, taxis, err := workload(trace.Boston(), 13500, 200, o)
+	reqs, taxis, err := Workload(trace.Boston(), 13500, 200, o)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -107,7 +107,7 @@ func AblationStableVariant(o Options) (Figure, error) {
 	if err := o.Validate(); err != nil {
 		return Figure{}, err
 	}
-	reqs, taxis, err := workload(trace.Boston(), 13500, 200, o)
+	reqs, taxis, err := Workload(trace.Boston(), 13500, 200, o)
 	if err != nil {
 		return Figure{}, err
 	}

@@ -56,7 +56,7 @@ func cdfFigure(id, title string, city trace.City, volume, fleetSize int,
 	}
 	for rep := 0; rep < o.replicas(); rep++ {
 		ro := o.replica(rep)
-		reqs, taxis, err := workload(city, volume, fleetSize, ro)
+		reqs, taxis, err := Workload(city, volume, fleetSize, ro)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -159,7 +159,7 @@ func Fig6(o Options) (Figure, error) {
 		sumTaxi := make([]float64, len(algs))
 		for rep := 0; rep < o.replicas(); rep++ {
 			ro := o.replica(rep)
-			reqs, taxis, err := workload(trace.Boston(), 13500, count, ro)
+			reqs, taxis, err := Workload(trace.Boston(), 13500, count, ro)
 			if err != nil {
 				return Figure{}, err
 			}
@@ -214,7 +214,7 @@ func Fig7(o Options) (Figure, error) {
 		taxiBuckets := make([][]float64, buckets)
 		for rep := 0; rep < o.replicas(); rep++ {
 			ro := o.replica(rep)
-			reqs, taxis, err := workload(trace.Boston(), 13500, 200, ro)
+			reqs, taxis, err := Workload(trace.Boston(), 13500, 200, ro)
 			if err != nil {
 				return Figure{}, err
 			}

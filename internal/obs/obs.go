@@ -24,6 +24,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -128,6 +129,42 @@ func mustKind[T any](name string, m any) *T {
 		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
 	}
 	return v
+}
+
+// CounterValue returns the current value of one counter of the default
+// registry, or 0 when the name is unregistered (or not a counter).
+func CounterValue(name string) uint64 { return defaultRegistry.CounterValue(name) }
+
+// CounterValue returns the current value of the named counter, or 0
+// when the name is unregistered (or registered as another kind).
+func (r *Registry) CounterValue(name string) uint64 {
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	c, ok := m.(*Counter)
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// SumCounters sums every counter of the default registry whose full
+// name starts with prefix — the read-side companion of labelled counter
+// families like dispatch_degraded_frames_total{reason=...}.
+func SumCounters(prefix string) uint64 { return defaultRegistry.SumCounters(prefix) }
+
+// SumCounters sums every counter whose full name starts with prefix.
+func (r *Registry) SumCounters(prefix string) uint64 {
+	var total uint64
+	r.Each(func(name string, metric any) {
+		if c, ok := metric.(*Counter); ok && strings.HasPrefix(name, prefix) {
+			total += c.Value()
+		}
+	})
+	return total
 }
 
 // Each calls fn for every registered metric in lexicographic name

@@ -226,6 +226,9 @@ func (s *Simulator) breakdown(t *taxiState, repair int) {
 		rs.taxiID = -1
 		rs.passengerDiss = 0
 		rs.rescued = true
+		if s.cfg.KPI != nil {
+			s.kpi.unassign()
+		}
 		s.requeue(rs, EventRescue, t.taxi.ID)
 	}
 
@@ -257,6 +260,9 @@ func (s *Simulator) unassign(rs *requestState) {
 	rs.assignFrame = -1
 	rs.taxiID = -1
 	rs.passengerDiss = 0
+	if s.cfg.KPI != nil {
+		s.kpi.unassign()
+	}
 	if t.idle() && t.episodeActive {
 		s.closeEpisode(t)
 	}

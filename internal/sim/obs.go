@@ -9,6 +9,12 @@ var (
 	obsFrames          = obs.GetOrCreateCounter("sim_frames_total")
 	obsDispatchSeconds = obs.GetOrCreateHistogram("sim_dispatch_frame_seconds")
 	obsPendingDepth    = obs.GetOrCreateGauge("sim_pending_requests")
+	// obsExpired counts patience-exceeded abandonments: requests the
+	// engine dropped because no dispatch arrived within the patience
+	// bound. The abandon event counter below tracks the same lifecycle
+	// step; this dedicated counter keeps the expiry rate scrapeable even
+	// when event counting is filtered.
+	obsExpired         = obs.GetOrCreateCounter("sim_requests_expired_total")
 	obsEventSinkErrors = obs.GetOrCreateCounter("sim_event_sink_errors_total")
 
 	obsEvents = map[EventKind]*obs.Counter{

@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"time"
 
 	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/obs"
 	"stabledispatch/internal/pref"
+	"stabledispatch/internal/tseries"
 )
 
 // Dispatcher produces assignments for one frame. Implementations live in
@@ -126,6 +128,11 @@ type Config struct {
 	// the run. internal/fault provides a seeded deterministic
 	// implementation.
 	Faults FaultInjector
+	// KPI, when non-nil, receives one fixed-width sample per frame with
+	// the paper's §VI quantities and the frame's runtime cost; see
+	// internal/tseries. Nil disables per-frame recording entirely (the
+	// frame loop then pays nothing for it).
+	KPI *tseries.Recorder
 }
 
 // Outage takes one taxi out of service for the frame interval
@@ -240,6 +247,10 @@ type Simulator struct {
 	assignments []AssignmentOutcome
 	episodes    []EpisodeOutcome
 
+	// kpi holds the running per-frame KPI aggregates; only updated when
+	// cfg.KPI is configured.
+	kpi kpiState
+
 	// Fault machinery: scheduled cancellations keyed by due frame, and
 	// the outage book (configured + dynamically injected) maintained as
 	// an O(1) active set per frame.
@@ -352,8 +363,26 @@ func (s *Simulator) Done() bool {
 // release arrivals, apply injected faults, expire impatient requests,
 // dispatch, then move taxis. Faults run before dispatch so the
 // dispatcher always sees the post-fault world and never assigns a
-// just-broken taxi.
+// just-broken taxi. With a KPI recorder configured, the frame's
+// wall-clock cost and allocation count bracket the whole step and the
+// finished frame is appended to the ring.
 func (s *Simulator) Step() error {
+	rec := s.cfg.KPI
+	if rec == nil {
+		return s.step()
+	}
+	frame := s.frame
+	allocs0 := s.kpi.readAllocs()
+	start := time.Now()
+	if err := s.step(); err != nil {
+		return err
+	}
+	s.recordKPI(rec, frame, time.Since(start), s.kpi.readAllocs()-allocs0)
+	return nil
+}
+
+// step is the uninstrumented frame advance.
+func (s *Simulator) step() error {
 	if rec := dtrace.Active(); rec != nil {
 		rec.SetFrame(s.frame)
 	}
@@ -391,12 +420,17 @@ func (s *Simulator) expireImpatient() {
 		rs := s.reqs[id]
 		if s.frame-rs.waitSince >= s.cfg.PatienceFrames {
 			rs.abandoned = true
+			obsExpired.Inc()
+			if s.cfg.KPI != nil {
+				s.kpi.expired++
+			}
 			s.emit(Event{Frame: s.frame, Kind: EventAbandon, RequestID: id, TaxiID: -1, Pos: rs.req.Pickup})
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.pending = kept
+	obsPendingDepth.Set(float64(len(s.pending)))
 }
 
 // Run steps the simulation until done (plus the drain bound) and returns
@@ -557,13 +591,17 @@ func (s *Simulator) apply(a fleet.Assignment, seenTaxi map[int]bool) error {
 	for _, rs := range newReqs {
 		newTrips += rs.req.TripDistance(s.cfg.Metric)
 	}
-	s.assignments = append(s.assignments, AssignmentOutcome{
+	outcome := AssignmentOutcome{
 		TaxiID:          a.TaxiID,
 		Frame:           s.frame,
 		Requests:        len(newReqs),
 		Shared:          len(newReqs) > 1 || len(t.onboard)+len(t.pending) > 0,
 		Dissatisfaction: newLen - oldLen - (s.cfg.Params.Alpha+1)*newTrips,
-	})
+	}
+	s.assignments = append(s.assignments, outcome)
+	if s.cfg.KPI != nil {
+		s.kpi.assignDecision(outcome)
+	}
 
 	// Install the new route.
 	wasIdle := t.idle()
@@ -573,6 +611,9 @@ func (s *Simulator) apply(a fleet.Assignment, seenTaxi map[int]bool) error {
 		rs.assignFrame = s.frame
 		rs.taxiID = a.TaxiID
 		rs.passengerDiss = s.passengerDiss(t, a, rs)
+		if s.cfg.KPI != nil {
+			s.kpi.assignRequest(s.frame-rs.req.Frame, rs.passengerDiss)
+		}
 		t.pending[rs.req.ID] = true
 		s.removePending(rs.req.ID)
 		s.emit(Event{Frame: s.frame, Kind: EventAssign, RequestID: rs.req.ID, TaxiID: a.TaxiID, Pos: rs.req.Pickup})

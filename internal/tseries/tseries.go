@@ -1,0 +1,324 @@
+// Package tseries is the per-frame KPI time-series layer: a bounded,
+// allocation-conscious recorder the simulator feeds once per dispatch
+// frame with the paper's §VI quantities (dispatch delay, passenger and
+// taxi dissatisfaction, served/queued/expired counts, shared rides,
+// degraded frames) plus runtime series (frame wall-clock, allocations,
+// Dijkstra cache hit rate).
+//
+// The recorder is a ring of fixed-width Sample values. Memory is bounded
+// by Capacity·sizeof(Sample) and allocated once at construction; Record
+// never allocates. Two retention policies are available once the ring
+// fills:
+//
+//   - evict (Downsample=false, the daemon's default): the oldest sample
+//     is overwritten, keeping a sliding window of the most recent frames.
+//   - downsample (Downsample=true, the batch runners' default): the ring
+//     is compacted in place keeping every second sample and the recording
+//     stride doubles, so the whole run's trajectory survives at halving
+//     time resolution — a day-long run fits any capacity.
+//
+// Snapshots and windowed queries copy out under the same mutex Record
+// takes, so readers (the /v1/timeseries handler, the -kpi-out exporter)
+// are safe against a concurrently stepping simulator.
+package tseries
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"unsafe"
+)
+
+// Sample is one frame's KPI snapshot. All fields are fixed-width scalars
+// so a ring of Samples is a single flat allocation.
+//
+// Count fields are cumulative over the run (monotone), depth fields are
+// point-in-time, and the delay/dissatisfaction aggregates are running
+// statistics over everything served so far — the same quantities the
+// end-of-run Report computes, resolved per frame.
+type Sample struct {
+	// Frame is the simulation frame the sample describes.
+	Frame int64 `json:"frame"`
+	// DelayMean is the mean dispatch delay (frames) over served requests.
+	DelayMean float64 `json:"delayMean"`
+	// DelayP95 is the 95th-percentile dispatch delay (frames).
+	DelayP95 float64 `json:"delayP95"`
+	// PassDissMean is the mean passenger dissatisfaction (km).
+	PassDissMean float64 `json:"passDissMean"`
+	// TaxiDissMean is the mean taxi dissatisfaction per decision (km).
+	TaxiDissMean float64 `json:"taxiDissMean"`
+	// Served counts requests assigned a taxi so far.
+	Served int64 `json:"served"`
+	// Queued is the pending-queue depth after this frame's dispatch.
+	Queued int64 `json:"queued"`
+	// Expired counts patience-exceeded abandonments so far.
+	Expired int64 `json:"expired"`
+	// SharedRides counts dispatch decisions that produced or extended a
+	// shared ride.
+	SharedRides int64 `json:"sharedRides"`
+	// DegradedFrames counts frames the Resilient wrapper degraded to its
+	// fallback dispatcher.
+	DegradedFrames int64 `json:"degradedFrames"`
+	// FrameNs is this frame's wall-clock cost in nanoseconds.
+	FrameNs int64 `json:"frameNs"`
+	// Allocs is the number of heap objects allocated during the frame.
+	Allocs int64 `json:"allocs"`
+	// CacheHitRate is the cumulative Dijkstra-cache hit rate in [0,1]
+	// (zero when no road-network metric is in play).
+	CacheHitRate float64 `json:"cacheHitRate"`
+}
+
+// sampleBytes is the in-memory width of one Sample.
+const sampleBytes = int(unsafe.Sizeof(Sample{}))
+
+// SeriesNames lists every extractable per-sample series, in the column
+// order WriteCSV emits.
+var SeriesNames = []string{
+	"delay_mean", "delay_p95", "pass_diss_mean", "taxi_diss_mean",
+	"served", "queued", "expired", "shared_rides", "degraded_frames",
+	"frame_ns", "allocs", "cache_hit_rate",
+}
+
+// Value extracts one named series value from the sample; ok is false for
+// unknown names.
+func (s Sample) Value(name string) (v float64, ok bool) {
+	switch name {
+	case "delay_mean":
+		return s.DelayMean, true
+	case "delay_p95":
+		return s.DelayP95, true
+	case "pass_diss_mean":
+		return s.PassDissMean, true
+	case "taxi_diss_mean":
+		return s.TaxiDissMean, true
+	case "served":
+		return float64(s.Served), true
+	case "queued":
+		return float64(s.Queued), true
+	case "expired":
+		return float64(s.Expired), true
+	case "shared_rides":
+		return float64(s.SharedRides), true
+	case "degraded_frames":
+		return float64(s.DegradedFrames), true
+	case "frame_ns":
+		return float64(s.FrameNs), true
+	case "allocs":
+		return float64(s.Allocs), true
+	case "cache_hit_rate":
+		return s.CacheHitRate, true
+	}
+	return 0, false
+}
+
+// ValidSeries reports whether name is a known series.
+func ValidSeries(name string) bool {
+	_, ok := Sample{}.Value(name)
+	return ok
+}
+
+// DefaultCapacity bounds the ring when Config.Capacity is not positive:
+// enough for a simulated day at one sample per frame.
+const DefaultCapacity = 1440
+
+// Config parameterises a Recorder.
+type Config struct {
+	// Capacity is the maximum number of retained samples (default
+	// DefaultCapacity). The ring's memory is Capacity·sizeof(Sample),
+	// allocated once.
+	Capacity int
+	// Downsample selects the full-ring policy: false evicts the oldest
+	// sample (sliding window), true compacts the ring keeping every
+	// second sample and doubles the recording stride, preserving the
+	// whole run at halving resolution.
+	Downsample bool
+}
+
+// Recorder is the bounded per-frame KPI ring. Safe for concurrent use.
+type Recorder struct {
+	mu         sync.Mutex
+	buf        []Sample
+	head       int // index of the oldest sample
+	n          int // live sample count
+	stride     int // record every stride-th offered sample (downsampling)
+	skip       int // offers left to skip before the next record
+	offered    int64
+	dropped    int64
+	downsample bool
+}
+
+// New builds a recorder; the ring is allocated up front.
+func New(cfg Config) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	// A downsampling compaction keeps ceil(n/2) samples and then appends
+	// one more, so the ring must hold at least two.
+	if cfg.Capacity < 2 {
+		cfg.Capacity = 2
+	}
+	return &Recorder{
+		buf:        make([]Sample, cfg.Capacity),
+		stride:     1,
+		downsample: cfg.Downsample,
+	}
+}
+
+// Record offers one frame's sample to the ring. O(1) amortised, no
+// allocations; under downsampling, samples between strides are dropped
+// and a full ring compacts in place.
+func (r *Recorder) Record(s Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.offered++
+	if r.skip > 0 {
+		r.skip--
+		r.dropped++
+		return
+	}
+	r.skip = r.stride - 1
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = s
+		r.n++
+		return
+	}
+	if !r.downsample {
+		// Evict the oldest: overwrite it and advance the head.
+		r.buf[r.head] = s
+		r.head = (r.head + 1) % len(r.buf)
+		r.dropped++
+		return
+	}
+	// Compact: keep every second sample (the even offsets), halving the
+	// occupancy, then double the stride so future offers arrive at the
+	// new resolution.
+	kept := 0
+	for i := 0; i < r.n; i += 2 {
+		r.buf[kept] = r.buf[(r.head+i)%len(r.buf)]
+		kept++
+	}
+	r.dropped += int64(r.n - kept)
+	r.head = 0
+	r.n = kept
+	r.stride *= 2
+	// skip was charged against the old stride above; re-charge it so the
+	// next retained sample lands stride-aligned with the survivors.
+	r.skip = r.stride - 1
+	r.buf[r.n] = s
+	r.n++
+}
+
+// Len returns the number of retained samples.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Stride returns the current recording stride: 1 until the first
+// downsampling compaction, doubling at each.
+func (r *Recorder) Stride() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stride
+}
+
+// Offered returns how many samples were offered to Record.
+func (r *Recorder) Offered() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.offered
+}
+
+// Dropped returns how many offered samples are no longer retained
+// (stride skips, evictions, and compactions).
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// MemoryBytes returns the fixed ring memory bound in bytes.
+func (r *Recorder) MemoryBytes() int { return len(r.buf) * sampleBytes }
+
+// Snapshot copies out every retained sample in chronological order. The
+// result is never nil.
+func (r *Recorder) Snapshot() []Sample {
+	return r.Window(0, -1, 1)
+}
+
+// Window copies out the retained samples with Frame in [from, to],
+// keeping every step-th (step < 1 is treated as 1). A negative to means
+// "through the latest frame". An empty window yields an empty, non-nil
+// slice.
+func (r *Recorder) Window(from, to int64, step int) []Sample {
+	if step < 1 {
+		step = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := []Sample{}
+	kept := 0
+	for i := 0; i < r.n; i++ {
+		s := r.buf[(r.head+i)%len(r.buf)]
+		if s.Frame < from || (to >= 0 && s.Frame > to) {
+			continue
+		}
+		if kept%step == 0 {
+			out = append(out, s)
+		}
+		kept++
+	}
+	return out
+}
+
+// Last returns the most recent sample, or ok=false on an empty ring.
+func (r *Recorder) Last() (Sample, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return Sample{}, false
+	}
+	return r.buf[(r.head+r.n-1)%len(r.buf)], true
+}
+
+// Reset empties the ring and restores the initial stride.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.head, r.n, r.stride, r.skip = 0, 0, 1, 0
+	r.offered, r.dropped = 0, 0
+}
+
+// WriteCSV renders samples as a CSV table: a frame column followed by
+// the requested series (all of SeriesNames when series is empty).
+func WriteCSV(w io.Writer, samples []Sample, series []string) error {
+	if len(series) == 0 {
+		series = SeriesNames
+	}
+	for _, name := range series {
+		if !ValidSeries(name) {
+			return fmt.Errorf("tseries: unknown series %q", name)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("frame")
+	for _, name := range series {
+		b.WriteByte(',')
+		b.WriteString(name)
+	}
+	b.WriteByte('\n')
+	for _, s := range samples {
+		b.WriteString(strconv.FormatInt(s.Frame, 10))
+		for _, name := range series {
+			v, _ := s.Value(name)
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,230 @@
+package tseries
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sampleAt(frame int64) Sample {
+	return Sample{Frame: frame, DelayMean: float64(frame) / 2, Served: frame}
+}
+
+// TestEvictKeepsSlidingWindow fills a non-downsampling ring past
+// capacity and checks the oldest samples fall off in order.
+func TestEvictKeepsSlidingWindow(t *testing.T) {
+	r := New(Config{Capacity: 4})
+	for f := int64(0); f < 10; f++ {
+		r.Record(sampleAt(f))
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := int64(6 + i); s.Frame != want {
+			t.Errorf("sample %d has frame %d, want %d", i, s.Frame, want)
+		}
+	}
+	if r.Stride() != 1 {
+		t.Errorf("evict policy changed stride to %d", r.Stride())
+	}
+	if r.Offered() != 10 || r.Dropped() != 6 {
+		t.Errorf("offered/dropped = %d/%d, want 10/6", r.Offered(), r.Dropped())
+	}
+}
+
+// TestDownsampleDoublesStride checks the compaction policy: a full ring
+// halves occupancy, doubles the stride, and retains an evenly strided
+// prefix-to-present trajectory covering the whole run.
+func TestDownsampleDoublesStride(t *testing.T) {
+	r := New(Config{Capacity: 8, Downsample: true})
+	for f := int64(0); f < 64; f++ {
+		r.Record(sampleAt(f))
+	}
+	if got := r.Stride(); got != 8 {
+		t.Fatalf("stride = %d, want 8 after compactions", got)
+	}
+	got := r.Snapshot()
+	if len(got) != 8 {
+		t.Fatalf("retained %d samples, want 8 (frames 0,8,...,56)", len(got))
+	}
+	// The run's start survives downsampling, and retained frames stay
+	// evenly strided: 0, 8, 16, ..., 56.
+	for i, s := range got {
+		if want := int64(i * 8); s.Frame != want {
+			t.Errorf("retained sample %d has frame %d, want %d", i, s.Frame, want)
+		}
+	}
+	if r.Offered() != 64 {
+		t.Errorf("offered = %d, want 64", r.Offered())
+	}
+	if int64(len(got))+r.Dropped() != r.Offered() {
+		t.Errorf("retained %d + dropped %d != offered %d", len(got), r.Dropped(), r.Offered())
+	}
+}
+
+// TestWindowQueries covers from/to/step filtering and the well-formed
+// empty result.
+func TestWindowQueries(t *testing.T) {
+	r := New(Config{Capacity: 100})
+	for f := int64(0); f < 50; f++ {
+		r.Record(sampleAt(f))
+	}
+	got := r.Window(10, 19, 1)
+	if len(got) != 10 || got[0].Frame != 10 || got[9].Frame != 19 {
+		t.Fatalf("window [10,19] returned %d samples (%v..%v)", len(got), got[0].Frame, got[len(got)-1].Frame)
+	}
+	stepped := r.Window(0, -1, 10)
+	if len(stepped) != 5 {
+		t.Fatalf("step 10 over 50 samples returned %d, want 5", len(stepped))
+	}
+	for i, s := range stepped {
+		if want := int64(i * 10); s.Frame != want {
+			t.Errorf("stepped sample %d has frame %d, want %d", i, s.Frame, want)
+		}
+	}
+	// Empty window: non-nil, zero length, no panic.
+	empty := r.Window(1000, 2000, 1)
+	if empty == nil || len(empty) != 0 {
+		t.Fatalf("empty window = %#v, want non-nil empty slice", empty)
+	}
+	// Empty recorder behaves the same.
+	fresh := New(Config{})
+	if s := fresh.Snapshot(); s == nil || len(s) != 0 {
+		t.Fatalf("empty recorder snapshot = %#v, want non-nil empty slice", s)
+	}
+	if _, ok := fresh.Last(); ok {
+		t.Error("Last on empty recorder reported ok")
+	}
+}
+
+// TestConcurrentWriteSnapshot races writers against snapshot readers;
+// meaningful under -race.
+func TestConcurrentWriteSnapshot(t *testing.T) {
+	r := New(Config{Capacity: 64, Downsample: true})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for f := int64(0); f < 5000; f++ {
+			r.Record(sampleAt(f))
+		}
+		close(stop)
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, s := range r.Snapshot() {
+					_ = s.Frame
+				}
+				r.Window(100, 4000, 7)
+				r.Last()
+				r.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Len(); got == 0 {
+		t.Fatal("no samples retained after concurrent run")
+	}
+}
+
+// TestValueAndSeriesNames keeps the extractor and the name table in sync.
+func TestValueAndSeriesNames(t *testing.T) {
+	s := Sample{
+		Frame: 3, DelayMean: 1.5, DelayP95: 4, PassDissMean: 2.5, TaxiDissMean: -0.5,
+		Served: 10, Queued: 2, Expired: 1, SharedRides: 4, DegradedFrames: 1,
+		FrameNs: 12345, Allocs: 99, CacheHitRate: 0.75,
+	}
+	want := map[string]float64{
+		"delay_mean": 1.5, "delay_p95": 4, "pass_diss_mean": 2.5, "taxi_diss_mean": -0.5,
+		"served": 10, "queued": 2, "expired": 1, "shared_rides": 4, "degraded_frames": 1,
+		"frame_ns": 12345, "allocs": 99, "cache_hit_rate": 0.75,
+	}
+	if len(SeriesNames) != len(want) {
+		t.Fatalf("SeriesNames has %d entries, want %d", len(SeriesNames), len(want))
+	}
+	for _, name := range SeriesNames {
+		v, ok := s.Value(name)
+		if !ok {
+			t.Fatalf("Value(%q) not ok", name)
+		}
+		if v != want[name] {
+			t.Errorf("Value(%q) = %v, want %v", name, v, want[name])
+		}
+	}
+	if _, ok := s.Value("bogus"); ok {
+		t.Error("Value accepted unknown series")
+	}
+	if ValidSeries("bogus") {
+		t.Error("ValidSeries accepted unknown series")
+	}
+}
+
+// TestWriteCSV checks the header, row shape, and unknown-series error.
+func TestWriteCSV(t *testing.T) {
+	r := New(Config{Capacity: 8})
+	r.Record(Sample{Frame: 0, DelayMean: 1, Queued: 3})
+	r.Record(Sample{Frame: 1, DelayMean: 2, Queued: 1})
+	var b strings.Builder
+	if err := WriteCSV(&b, r.Snapshot(), []string{"delay_mean", "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "frame,delay_mean,queued" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,1,3" || lines[2] != "1,2,1" {
+		t.Errorf("rows = %q, %q", lines[1], lines[2])
+	}
+	if err := WriteCSV(&b, r.Snapshot(), []string{"nope"}); err == nil {
+		t.Error("WriteCSV accepted unknown series")
+	}
+	// Empty series list means every known series.
+	b.Reset()
+	if err := WriteCSV(&b, r.Snapshot(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(strings.Split(b.String(), "\n")[0], ","); got != len(SeriesNames) {
+		t.Errorf("full header has %d commas, want %d", got, len(SeriesNames))
+	}
+}
+
+// TestRecordNoAllocs proves the hot path allocates nothing after
+// construction.
+func TestRecordNoAllocs(t *testing.T) {
+	r := New(Config{Capacity: 256, Downsample: true})
+	var f int64
+	avg := testing.AllocsPerRun(2000, func() {
+		r.Record(sampleAt(f))
+		f++
+	})
+	if avg != 0 {
+		t.Errorf("Record allocates %v objects/op, want 0", avg)
+	}
+}
+
+func TestMemoryBound(t *testing.T) {
+	r := New(Config{Capacity: 100})
+	if got, want := r.MemoryBytes(), 100*sampleBytes; got != want {
+		t.Errorf("MemoryBytes = %d, want %d", got, want)
+	}
+	for f := int64(0); f < 100000; f++ {
+		r.Record(sampleAt(f))
+	}
+	if got := r.Len(); got > 100 {
+		t.Errorf("ring grew to %d samples past its capacity", got)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/stable"
 	"stabledispatch/internal/trace"
+	"stabledispatch/internal/tseries"
 )
 
 // Core geometry types.
@@ -308,6 +309,29 @@ func DecisionTracer() *TraceRecorder { return dtrace.Default() }
 func CertifyStability(frame int, m *Market, reqPartner, reqIDs, taxiIDs []int) *StabilityCertificate {
 	return dtrace.Certify(frame, m, reqPartner, reqIDs, taxiIDs)
 }
+
+// Per-frame KPI time-series types. A KPIRecorder attached to
+// SimConfig.KPI receives one fixed-width sample per simulated frame —
+// the paper's quality metrics (dispatch delay mean/p95, dissatisfaction
+// means, served/queued/expired counts) alongside runtime cost (frame
+// wall-clock, allocations, route-cache hit rate) — in a bounded ring.
+type (
+	// KPIRecorder is the bounded per-frame sample ring.
+	KPIRecorder = tseries.Recorder
+	// KPIRecorderConfig sizes the ring and selects its retention policy
+	// (evict-oldest sliding window, or downsample to keep the whole-run
+	// trajectory at halving resolution).
+	KPIRecorderConfig = tseries.Config
+	// KPISample is one frame's KPI observation.
+	KPISample = tseries.Sample
+)
+
+// NewKPIRecorder returns a per-frame KPI ring; attach it via
+// SimConfig.KPI and query it with Simulator.KPISeries / KPIWindow.
+func NewKPIRecorder(cfg KPIRecorderConfig) *KPIRecorder { return tseries.New(cfg) }
+
+// KPISeriesNames lists every queryable series name, in sample order.
+func KPISeriesNames() []string { return append([]string(nil), tseries.SeriesNames...) }
 
 // Trace and workload types.
 type (

@@ -328,3 +328,45 @@ func TestFacadeDecisionTracing(t *testing.T) {
 		t.Fatalf("crossed matching certified stable: %+v", cert)
 	}
 }
+
+// TestFacadeKPISeries runs an instrumented simulation through the public
+// API: one sample per frame, queryable by window, all series named.
+func TestFacadeKPISeries(t *testing.T) {
+	reqs, err := GenerateTrace(BostonConfig(15, 3))
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+	taxis, err := GenerateTaxis(Boston(), 25, 4)
+	if err != nil {
+		t.Fatalf("GenerateTaxis: %v", err)
+	}
+	rec := NewKPIRecorder(KPIRecorderConfig{Capacity: 256})
+	s, err := NewSimulator(SimConfig{
+		Dispatcher: NSTDP(),
+		Params:     DefaultParams(),
+		KPI:        rec,
+	}, taxis, reqs)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	samples := s.KPISeries()
+	if len(samples) != rep.Frames {
+		t.Fatalf("%d samples over %d frames", len(samples), rep.Frames)
+	}
+	last := samples[len(samples)-1]
+	if int(last.Served) != rep.ServedCount() {
+		t.Errorf("final served %d, report says %d", last.Served, rep.ServedCount())
+	}
+	for _, name := range KPISeriesNames() {
+		if _, ok := last.Value(name); !ok {
+			t.Errorf("series %q not readable from a sample", name)
+		}
+	}
+	if win := s.KPIWindow(1, 3, 1); len(win) != 3 || win[0].Frame != 1 {
+		t.Errorf("KPIWindow(1,3,1) = %d samples starting %v", len(win), win)
+	}
+}
