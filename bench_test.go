@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"stabledispatch/internal/costplane"
 	"stabledispatch/internal/dispatch"
 	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/exp"
@@ -18,6 +19,7 @@ import (
 	"stabledispatch/internal/match"
 	"stabledispatch/internal/obs"
 	"stabledispatch/internal/pref"
+	"stabledispatch/internal/roadnet"
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/stable"
@@ -312,5 +314,45 @@ func BenchmarkAblationStableVariant(b *testing.B) {
 		if _, err := exp.AblationStableVariant(o); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCostPlane measures one frame's shared distance-plane build —
+// the pruned configuration every stable dispatcher requests — serially
+// and with the default worker pool. The road variant rebuilds the
+// shortest-path cache each iteration so the pool is measured against
+// cold Dijkstra fills, not cache hits; note on a single-core runner the
+// parallel rows match the serial ones.
+func BenchmarkCostPlane(b *testing.B) {
+	reqs, taxis := benchWorld(b, 100, 400)
+	cfg := costplane.Config{PruneRadius: pref.DefaultParams().MaxPickup}
+	g, err := roadnet.NewGrid(roadnet.GridConfig{Rows: 24, Cols: 24, Spacing: 1, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []struct {
+		name string
+		n    int
+	}{{"serial", 1}, {"parallel", 0}} {
+		cfg := cfg
+		cfg.Workers = workers.n
+		b.Run("euclid/"+workers.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pl := costplane.Build(reqs, taxis, geo.EuclidMetric, cfg)
+				if pl.Cells() != len(reqs)*len(taxis) {
+					b.Fatal("bad plane")
+				}
+			}
+		})
+		b.Run("road/"+workers.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pl := costplane.Build(reqs, taxis, roadnet.NewMetric(g, 256), cfg)
+				if pl.Cells() != len(reqs)*len(taxis) {
+					b.Fatal("bad plane")
+				}
+			}
+		})
 	}
 }

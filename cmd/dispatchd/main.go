@@ -74,6 +74,7 @@ func run(args []string) error {
 		dtraceOn = fs.Bool("dtrace", true, "record per-request decision traces and frame stability certificates")
 		traceCap = fs.Int("trace-capacity", dtrace.DefaultCapacity, "max request traces retained in the decision-trace ring")
 		kpiCap   = fs.Int("kpi-capacity", tseries.DefaultCapacity, "per-frame KPI samples retained for /v1/timeseries (0 disables recording)")
+		workers  = fs.Int("workers", 0, "cost-plane worker pool size; 0 = GOMAXPROCS (results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,6 +117,7 @@ func run(args []string) error {
 		Dispatcher: d,
 		Events:     events,
 		KPI:        kpi,
+		Workers:    *workers,
 	}, fleetTaxis, nil)
 	if err != nil {
 		return err

@@ -218,6 +218,7 @@ func parseFlags(args []string) (config, error) {
 	fs.Float64Var(&cfg.ov.volScale, "vol-scale", 0, "override every scenario's volume scale (0 = scenario default)")
 	fs.Float64Var(&cfg.ov.taxiScale, "taxi-scale", 0, "override every scenario's taxi scale (0 = scenario default)")
 	fs.Int64Var(&cfg.ov.seed, "seed", 0, "override the base seed (0 = scenario default)")
+	fs.IntVar(&cfg.ov.workers, "workers", 0, "cost-plane worker pool size per frame (0 = GOMAXPROCS; results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}

@@ -53,6 +53,7 @@ func run(args []string, out io.Writer) error {
 		theta     = fs.Float64("theta", 5, "sharing detour bound in km")
 		speed     = fs.Float64("speed", 20, "taxi speed in km/h")
 		patience  = fs.Int("patience", 0, "minutes a passenger waits before abandoning (0 = forever)")
+		workers   = fs.Int("workers", 0, "cost-plane worker pool size; 0 = GOMAXPROCS (results are identical for any value)")
 		eventPath = fs.String("events", "", "write a JSONL lifecycle event log to this file")
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event JSON of dispatch decisions to this file (single algorithm only)")
 		kpiOut    = fs.String("kpi-out", "", "write the per-frame KPI time series as CSV to this file (single algorithm only)")
@@ -187,6 +188,7 @@ func run(args []string, out io.Writer) error {
 			Events:         events,
 			Faults:         faults,
 			KPI:            kpi,
+			Workers:        *workers,
 		}, fleetTaxis, reqs)
 		if err != nil {
 			return err

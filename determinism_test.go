@@ -1,0 +1,102 @@
+package stabledispatch
+
+// The cost-plane worker pool is a pure throughput knob: every worker
+// writes a disjoint preallocated row whose values depend only on the
+// frame's inputs, so the dispatch schedule cannot depend on scheduling.
+// This table test pins that contract end to end — a seeded Boston day
+// slice must produce byte-identical lifecycle events, KPI rows, and
+// outcome records for every worker count, across the paper's stable
+// dispatchers, the sharing dispatcher, and a baseline.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"stabledispatch/internal/dispatch"
+	"stabledispatch/internal/exp"
+	"stabledispatch/internal/pref"
+	"stabledispatch/internal/share"
+	"stabledispatch/internal/sim"
+	"stabledispatch/internal/trace"
+	"stabledispatch/internal/tseries"
+)
+
+// deterministicSeries are the KPI columns whose values are functions of
+// the simulation state alone. frame_ns and allocs measure the host and
+// are excluded; cache_hit_rate is excluded because under a capacity-
+// bound road cache the hit/miss split can legitimately vary with the
+// interleaving of parallel fills (the distances themselves cannot).
+var deterministicSeries = []string{
+	"delay_mean", "delay_p95", "pass_diss_mean", "taxi_diss_mean",
+	"served", "queued", "expired", "shared_rides", "degraded_frames",
+}
+
+// runFingerprint executes one simulation and serialises everything the
+// worker count must not change: the JSONL event stream, the
+// deterministic KPI columns, and the full outcome records.
+func runFingerprint(t *testing.T, d sim.Dispatcher, workers int) []byte {
+	t.Helper()
+	o := exp.QuickOptions()
+	o.Frames = 60
+	o.VolumeScale = 0.05
+	reqs, taxis, err := exp.Workload(trace.Boston(), 13500, 200, o)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	var events bytes.Buffer
+	kpi := tseries.New(tseries.Config{Capacity: 4 * o.Frames})
+	s, err := sim.New(sim.Config{
+		Params:         pref.DefaultParams(),
+		Dispatcher:     d,
+		PatienceFrames: o.PatienceMinutes,
+		Events:         sim.NewJSONLSink(&events),
+		KPI:            kpi,
+		Workers:        workers,
+	}, taxis, reqs)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var out bytes.Buffer
+	out.Write(events.Bytes())
+	if err := tseries.WriteCSV(&out, kpi.Snapshot(), deterministicSeries); err != nil {
+		t.Fatalf("kpi csv: %v", err)
+	}
+	fmt.Fprintf(&out, "requests %+v\n", rep.Requests)
+	fmt.Fprintf(&out, "episodes %+v\n", rep.Episodes)
+	fmt.Fprintf(&out, "assignments %+v\n", rep.Assignments)
+	return out.Bytes()
+}
+
+func TestWorkerCountDeterminism(t *testing.T) {
+	packCfg := share.PackConfig{Theta: 5, MaxGroupSize: 3, PairRadius: 10}
+	algos := []struct {
+		name string
+		make func() sim.Dispatcher
+	}{
+		{"NSTD-P", func() sim.Dispatcher { return dispatch.NewNSTDP() }},
+		{"NSTD-T", func() sim.Dispatcher { return dispatch.NewNSTDT() }},
+		{"STD-P", func() sim.Dispatcher { return dispatch.NewSTDP(packCfg) }},
+		{"Greedy", func() sim.Dispatcher { return dispatch.NewGreedy() }},
+	}
+	for _, algo := range algos {
+		t.Run(algo.name, func(t *testing.T) {
+			want := runFingerprint(t, algo.make(), 1)
+			if len(want) == 0 {
+				t.Fatal("serial run produced an empty fingerprint")
+			}
+			for _, workers := range []int{4, 16} {
+				got := runFingerprint(t, algo.make(), workers)
+				if !bytes.Equal(got, want) {
+					t.Errorf("workers=%d diverged from workers=1: fingerprints differ (%d vs %d bytes)",
+						workers, len(got), len(want))
+				}
+			}
+		})
+	}
+}

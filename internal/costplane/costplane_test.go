@@ -1,0 +1,221 @@
+package costplane
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/geo"
+	"stabledispatch/internal/roadnet"
+)
+
+func world(t *testing.T, nReqs, nTaxis int, seed int64) ([]fleet.Request, []fleet.Taxi) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pt := func() geo.Point {
+		return geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+	}
+	reqs := make([]fleet.Request, nReqs)
+	for j := range reqs {
+		reqs[j] = fleet.Request{ID: j, Pickup: pt(), Dropoff: pt(), Seats: 1 + rng.Intn(3)}
+	}
+	taxis := make([]fleet.Taxi, nTaxis)
+	for i := range taxis {
+		taxis[i] = fleet.Taxi{ID: i, Pos: pt(), Seats: 4}
+	}
+	return reqs, taxis
+}
+
+func roadMetric(t *testing.T) *roadnet.Metric {
+	t.Helper()
+	g, err := roadnet.NewGrid(roadnet.GridConfig{Rows: 8, Cols: 8, Spacing: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return roadnet.NewMetric(g, 16)
+}
+
+// TestBuildMatchesMetric checks every unpruned plane cell is exactly the
+// metric's value, for both a plain and a batch-capable metric.
+func TestBuildMatchesMetric(t *testing.T) {
+	reqs, taxis := world(t, 23, 31, 1)
+	metrics := map[string]geo.Metric{
+		"euclid":  geo.EuclidMetric,
+		"roadnet": roadMetric(t),
+	}
+	for name, m := range metrics {
+		pl := Build(reqs, taxis, m, Config{Workers: 1, Pairs: true})
+		for i, taxi := range taxis {
+			for j, rq := range reqs {
+				if got, want := pl.PickupDist(i, j), m.Distance(taxi.Pos, rq.Pickup); got != want {
+					t.Fatalf("%s: PickupDist(%d,%d) = %v, want %v", name, i, j, got, want)
+				}
+			}
+		}
+		for j, rq := range reqs {
+			if got, want := pl.Trip(j), rq.TripDistance(m); got != want {
+				t.Fatalf("%s: Trip(%d) = %v, want %v", name, j, got, want)
+			}
+			for k, other := range reqs {
+				want := m.Distance(rq.Pickup, other.Pickup)
+				if k == j {
+					want = 0
+				}
+				if got := pl.PairDist(j, k); got != want {
+					t.Fatalf("%s: PairDist(%d,%d) = %v, want %v", name, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPruning checks a cell is +Inf exactly when the straight-line
+// distance exceeds the radius, and the metric's exact value otherwise.
+func TestPruning(t *testing.T) {
+	reqs, taxis := world(t, 30, 40, 2)
+	const radius = 6.0
+	m := geo.ManhattanMetric // strictly above the Euclid lower bound
+	pl := Build(reqs, taxis, m, Config{Workers: 1, PruneRadius: radius, Pairs: true, PairRadius: radius})
+	prunedSeen := false
+	for i, taxi := range taxis {
+		for j, rq := range reqs {
+			got := pl.PickupDist(i, j)
+			if geo.Euclid(taxi.Pos, rq.Pickup) > radius {
+				prunedSeen = true
+				if !math.IsInf(got, 1) {
+					t.Fatalf("PickupDist(%d,%d) = %v, want +Inf (pruned)", i, j, got)
+				}
+			} else if want := m.Distance(taxi.Pos, rq.Pickup); got != want {
+				t.Fatalf("PickupDist(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	if !prunedSeen {
+		t.Fatal("test world pruned nothing; shrink the radius")
+	}
+	for j, rq := range reqs {
+		if math.IsInf(pl.Trip(j), 1) {
+			t.Fatalf("Trip(%d) pruned; trips must always be computed", j)
+		}
+		for k, other := range reqs {
+			got := pl.PairDist(j, k)
+			switch {
+			case k == j:
+				if got != 0 {
+					t.Fatalf("PairDist(%d,%d) = %v, want 0", j, j, got)
+				}
+			case geo.Euclid(rq.Pickup, other.Pickup) > radius:
+				if !math.IsInf(got, 1) {
+					t.Fatalf("PairDist(%d,%d) = %v, want +Inf (pruned)", j, k, got)
+				}
+			default:
+				if want := m.Distance(rq.Pickup, other.Pickup); got != want {
+					t.Fatalf("PairDist(%d,%d) = %v, want %v", j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerCountInvariance is the package-level determinism guarantee:
+// every cell is bit-identical across worker counts, with and without
+// pruning, on both metric kinds.
+func TestWorkerCountInvariance(t *testing.T) {
+	reqs, taxis := world(t, 40, 60, 3)
+	configs := []Config{
+		{},
+		{PruneRadius: 8},
+		{Pairs: true, PairRadius: 8},
+		{PruneRadius: 8, Pairs: true, PairRadius: 8},
+	}
+	metrics := map[string]geo.Metric{
+		"euclid":  geo.EuclidMetric,
+		"roadnet": roadMetric(t),
+	}
+	for name, m := range metrics {
+		for _, cfg := range configs {
+			base := cfg
+			base.Workers = 1
+			ref := Build(reqs, taxis, m, base)
+			for _, workers := range []int{2, 4, 16} {
+				c := cfg
+				c.Workers = workers
+				pl := Build(reqs, taxis, m, c)
+				for i := range taxis {
+					for j := range reqs {
+						if pl.PickupDist(i, j) != ref.PickupDist(i, j) {
+							t.Fatalf("%s workers=%d cfg=%+v: PickupDist(%d,%d) = %v, want %v",
+								name, workers, cfg, i, j, pl.PickupDist(i, j), ref.PickupDist(i, j))
+						}
+					}
+				}
+				for j := range reqs {
+					if pl.Trip(j) != ref.Trip(j) {
+						t.Fatalf("%s workers=%d cfg=%+v: Trip(%d) differs", name, workers, cfg, j)
+					}
+					if cfg.Pairs {
+						for k := range reqs {
+							if pl.PairDist(j, k) != ref.PairDist(j, k) {
+								t.Fatalf("%s workers=%d cfg=%+v: PairDist(%d,%d) differs", name, workers, cfg, j, k)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCostMatrixLayout checks the request-major copy against the
+// taxi-major source, and that mutating the copy leaves the plane intact.
+func TestCostMatrixLayout(t *testing.T) {
+	reqs, taxis := world(t, 7, 11, 4)
+	pl := Build(reqs, taxis, geo.EuclidMetric, Config{Workers: 2})
+	cost := pl.CostMatrix()
+	if len(cost) != len(reqs) {
+		t.Fatalf("CostMatrix has %d rows, want %d", len(cost), len(reqs))
+	}
+	for j := range reqs {
+		if len(cost[j]) != len(taxis) {
+			t.Fatalf("CostMatrix row %d has %d cols, want %d", j, len(cost[j]), len(taxis))
+		}
+		for i := range taxis {
+			if cost[j][i] != pl.PickupDist(i, j) {
+				t.Fatalf("CostMatrix[%d][%d] = %v, want %v", j, i, cost[j][i], pl.PickupDist(i, j))
+			}
+		}
+	}
+	cost[0][0] = -1
+	if pl.PickupDist(0, 0) == -1 {
+		t.Fatal("CostMatrix aliases the plane's storage")
+	}
+}
+
+// TestEmptyAndDegenerate covers zero-request and zero-taxi frames.
+func TestEmptyAndDegenerate(t *testing.T) {
+	reqs, taxis := world(t, 3, 2, 5)
+	for _, cfg := range []Config{{}, {PruneRadius: 5, Pairs: true, PairRadius: 5}} {
+		if pl := Build(nil, taxis, geo.EuclidMetric, cfg); pl.Cells() != 0 {
+			t.Fatal("empty request frame has cells")
+		}
+		if pl := Build(reqs, nil, geo.EuclidMetric, cfg); pl.Cells() != 0 {
+			t.Fatal("empty taxi frame has cells")
+		} else if pl.Trip(0) != reqs[0].TripDistance(geo.EuclidMetric) {
+			t.Fatal("trips missing on taxi-less frame")
+		}
+	}
+}
+
+// TestConfigKey pins that Workers is excluded from the memo key.
+func TestConfigKey(t *testing.T) {
+	a := Config{Workers: 1, PruneRadius: 3, Pairs: true, PairRadius: 7}
+	b := Config{Workers: 16, PruneRadius: 3, Pairs: true, PairRadius: 7}
+	if a.Key() != b.Key() {
+		t.Fatal("worker count leaked into the plane key")
+	}
+	c := Config{Workers: 1, PruneRadius: 4, Pairs: true, PairRadius: 7}
+	if a.Key() == c.Key() {
+		t.Fatal("prune radius missing from the plane key")
+	}
+}

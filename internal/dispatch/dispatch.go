@@ -14,6 +14,7 @@ package dispatch
 import (
 	"fmt"
 
+	"stabledispatch/internal/costplane"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/match"
 	"stabledispatch/internal/pref"
@@ -32,6 +33,19 @@ func idleFleet(f *sim.Frame) []fleet.Taxi {
 		taxis[i] = fleet.Taxi{ID: v.ID, Pos: v.Pos, Seats: v.Seats, Status: fleet.TaxiIdle}
 	}
 	return taxis
+}
+
+// prunedInstance builds the frame's non-sharing preference instance from
+// a cost plane pruned at the passenger-side dummy threshold: taxis
+// farther than MaxPickup from a pickup sit behind the dummy regardless,
+// so skipping their cells leaves every preference list unchanged.
+func prunedInstance(f *sim.Frame, taxis []fleet.Taxi) (*pref.Instance, error) {
+	tm := stageTimer("cost_plane")
+	pl := f.CostPlane(taxis, costplane.Config{PruneRadius: f.Params.MaxPickup})
+	tm.ObserveDuration()
+	tm = stageTimer("pref_build")
+	defer tm.ObserveDuration()
+	return pref.FromPlane(pl, f.Params)
 }
 
 // NSTD is the paper's non-sharing stable dispatcher. The passenger-
@@ -65,14 +79,12 @@ func (d *NSTD) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if len(taxis) == 0 || len(f.Requests) == 0 {
 		return nil, nil
 	}
-	tm := stageTimer("pref_build")
-	inst, err := pref.NewInstance(f.Requests, taxis, f.Metric, f.Params)
-	tm.ObserveDuration()
+	inst, err := prunedInstance(f, taxis)
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
 	ft := newFrameTracer(f.Number, &inst.Market, singleIDs(f.Requests), fleetIDs(taxis))
-	tm = stageTimer("matching")
+	tm := stageTimer("matching")
 	var m stable.Matching
 	if d.taxiOptimal {
 		m = stable.TaxiOptimalObserved(&inst.Market, ft.observer(true))
@@ -86,16 +98,16 @@ func (d *NSTD) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 }
 
 // costMatrix returns the request-major pickup-distance matrix the
-// baselines minimise — they model only the passenger's wait.
+// baselines minimise — they model only the passenger's wait. The matrix
+// is a view of the frame's unpruned cost plane: the baselines have no
+// acceptability thresholds (a request beyond every radius still takes
+// its nearest taxi), so every cell must hold a real distance.
 func costMatrix(f *sim.Frame, taxis []fleet.Taxi) [][]float64 {
-	cost := make([][]float64, len(f.Requests))
-	for j, r := range f.Requests {
-		cost[j] = make([]float64, len(taxis))
-		for i, t := range taxis {
-			cost[j][i] = f.Metric.Distance(t.Pos, r.Pickup)
-		}
-	}
-	return cost
+	tm := stageTimer("cost_plane")
+	pl := f.CostPlane(taxis, costplane.Config{})
+	tm.ObserveDuration()
+	defer stageTimer("cost_matrix").ObserveDuration()
+	return pl.CostMatrix()
 }
 
 // partnerFunc turns a cost matrix into a request→taxi assignment.
@@ -142,10 +154,8 @@ func (b *baseline) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if len(taxis) == 0 || len(f.Requests) == 0 {
 		return nil, nil
 	}
-	tm := stageTimer("cost_matrix")
 	cost := costMatrix(f, taxis)
-	tm.ObserveDuration()
-	tm = stageTimer("matching")
+	tm := stageTimer("matching")
 	partner, err := b.run(cost)
 	tm.ObserveDuration()
 	if err != nil {
@@ -202,14 +212,24 @@ func (d *STD) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if len(taxis) == 0 || len(f.Requests) == 0 {
 		return nil, nil
 	}
-	tm := stageTimer("packing")
-	units, err := packedUnits(f, d.packCfg, d.maxBatch)
+	n := packBatchSize(len(f.Requests), d.maxBatch)
+	tm := stageTimer("cost_plane")
+	pl := f.CostPlane(taxis, costplane.Config{
+		PruneRadius: f.Params.MaxPickup,
+		// A singleton batch consults no pickup pair, so skip the R×R
+		// pair matrix entirely — common at quiet frames.
+		Pairs:      n >= 2,
+		PairRadius: d.packCfg.PairRadius,
+	})
+	tm.ObserveDuration()
+	tm = stageTimer("packing")
+	units, err := packedUnits(f, pl, d.packCfg, n)
 	tm.ObserveDuration()
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %s: %w", d.Name(), err)
 	}
 	tm = stageTimer("pref_build")
-	mk, err := share.BuildMarket(units, f.Requests, taxis, f.Metric, f.Params)
+	mk, err := share.BuildMarketPlane(units, taxis, pl, f.Params)
 	tm.ObserveDuration()
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %s: %w", d.Name(), err)
@@ -233,25 +253,32 @@ func (d *STD) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	return out, nil
 }
 
-// packedUnits runs Algorithm 3's first stage on the oldest maxBatch
-// pending requests and appends the overflow as single-rider units, so a
-// long queue still gets stable single dispatches while the packing stage
-// stays frame-rate.
-func packedUnits(f *sim.Frame, cfg share.PackConfig, maxBatch int) ([]share.Unit, error) {
+// packBatchSize is the number of oldest pending requests entering the
+// packing stage: min(total, maxBatch), with maxBatch ≤ 0 meaning
+// DefaultPackBatch.
+func packBatchSize(total, maxBatch int) int {
 	if maxBatch <= 0 {
 		maxBatch = DefaultPackBatch
 	}
-	batch := f.Requests
-	if len(batch) > maxBatch {
-		batch = batch[:maxBatch]
+	if total > maxBatch {
+		return maxBatch
 	}
-	res, err := share.Pack(batch, f.Metric, cfg)
+	return total
+}
+
+// packedUnits runs Algorithm 3's first stage on the oldest n pending
+// requests and appends the overflow as single-rider units, so a long
+// queue still gets stable single dispatches while the packing stage
+// stays frame-rate. Pair distances and solo trips come from the frame's
+// cost plane.
+func packedUnits(f *sim.Frame, pl *costplane.Plane, cfg share.PackConfig, n int) ([]share.Unit, error) {
+	res, err := share.PackPlane(n, pl, cfg)
 	if err != nil {
 		return nil, err
 	}
-	units := res.Units(f.Requests, f.Metric)
-	for idx := len(batch); idx < len(f.Requests); idx++ {
-		units = append(units, share.SingleUnit(idx, f.Requests, f.Metric))
+	units := res.UnitsPlane(pl)
+	for idx := n; idx < len(f.Requests); idx++ {
+		units = append(units, share.SingleUnitPlane(idx, pl))
 	}
 	return units, nil
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"stabledispatch/internal/fleet"
-	"stabledispatch/internal/pref"
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/stable"
 )
@@ -36,9 +35,7 @@ func (d *NSTDC) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if len(taxis) == 0 || len(f.Requests) == 0 {
 		return nil, nil
 	}
-	tm := stageTimer("pref_build")
-	inst, err := pref.NewInstance(f.Requests, taxis, f.Metric, f.Params)
-	tm.ObserveDuration()
+	inst, err := prunedInstance(f, taxis)
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
@@ -46,7 +43,7 @@ func (d *NSTDC) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	// still records each request's candidate shortlist for the explain
 	// surface.
 	_ = newFrameTracer(f.Number, &inst.Market, singleIDs(f.Requests), fleetIDs(taxis))
-	tm = stageTimer("matching")
+	tm := stageTimer("matching")
 	m := stable.CompanyOptimal(&inst.Market, stable.TotalPickupDistance(inst), enumerationCap)
 	tm.ObserveDuration()
 	out := singleRides(m, taxis, f.Requests)
@@ -73,14 +70,12 @@ func (d *NSTDM) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	if len(taxis) == 0 || len(f.Requests) == 0 {
 		return nil, nil
 	}
-	tm := stageTimer("pref_build")
-	inst, err := pref.NewInstance(f.Requests, taxis, f.Metric, f.Params)
-	tm.ObserveDuration()
+	inst, err := prunedInstance(f, taxis)
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
 	_ = newFrameTracer(f.Number, &inst.Market, singleIDs(f.Requests), fleetIDs(taxis))
-	tm = stageTimer("matching")
+	tm := stageTimer("matching")
 	m := stable.MedianStable(&inst.Market, enumerationCap)
 	tm.ObserveDuration()
 	out := singleRides(m, taxis, f.Requests)

@@ -6,9 +6,12 @@ import "stabledispatch/internal/obs"
 // stage of Algorithm 1/3 and the baselines:
 //
 //	idle_scan   — collecting the frame's idle fleet
-//	pref_build  — cost/preference matrix construction (pref.NewInstance
-//	              or share.BuildMarket; the baselines' cost matrix is
-//	              its own cost_matrix stage)
+//	cost_plane  — building (or memo-hitting) the frame's shared
+//	              distance plane: spatial candidate pruning plus the
+//	              parallel batched distance computation
+//	pref_build  — market construction from the plane (pref.FromPlane
+//	              or share.BuildMarketPlane)
+//	cost_matrix — the baselines' request-major view of the plane
 //	matching    — the stable matching (or baseline assignment) solve
 //	packing     — Algorithm 3's feasible-group + set-packing stage
 //
@@ -16,6 +19,7 @@ import "stabledispatch/internal/obs"
 // summary table.
 var stageHists = map[string]*obs.Histogram{
 	"idle_scan":   obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="idle_scan"}`),
+	"cost_plane":  obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="cost_plane"}`),
 	"pref_build":  obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="pref_build"}`),
 	"cost_matrix": obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="cost_matrix"}`),
 	"matching":    obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="matching"}`),

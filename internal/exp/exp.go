@@ -49,6 +49,10 @@ type Options struct {
 	Replicas int
 	// Metric measures distances; nil means Euclidean.
 	Metric geo.Metric
+	// Workers bounds each frame's cost-plane worker pool; ≤ 0 means
+	// runtime.GOMAXPROCS(0). Purely a throughput knob: every figure is
+	// bit-identical for every value.
+	Workers int
 }
 
 // DefaultOptions reproduces the paper's setting over one simulated day.
@@ -245,6 +249,7 @@ func runReport(d sim.Dispatcher, taxis []fleet.Taxi, reqs []fleet.Request, o Opt
 		Params:         o.Params,
 		Dispatcher:     d,
 		PatienceFrames: o.PatienceMinutes,
+		Workers:        o.Workers,
 	}, taxis, reqs)
 	if err != nil {
 		return nil, err

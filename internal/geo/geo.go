@@ -88,6 +88,35 @@ type MetricFunc func(a, b Point) float64
 // Distance implements Metric.
 func (f MetricFunc) Distance(a, b Point) float64 { return f(a, b) }
 
+// BatchMetric is an optional Metric extension for single-source batch
+// queries: one call answers the distance from src to every destination.
+// Implementations backed by a graph traversal (package roadnet) amortise
+// the traversal over the whole batch, so a batch of n queries costs one
+// shortest-path tree instead of n cache probes. Results must be
+// identical, bit for bit, to calling Distance per destination.
+type BatchMetric interface {
+	Metric
+	// DistancesFrom returns the travel distance from src to each
+	// destination, aligned by index.
+	DistancesFrom(src Point, dsts []Point) []float64
+}
+
+// DistancesFrom computes src→dsts distances through m, using the
+// BatchMetric fast path when m provides one and falling back to one
+// Distance call per destination otherwise. The fallback makes every
+// Metric usable where a batch is wanted (package costplane builds its
+// per-frame planes through this helper).
+func DistancesFrom(m Metric, src Point, dsts []Point) []float64 {
+	if bm, ok := m.(BatchMetric); ok {
+		return bm.DistancesFrom(src, dsts)
+	}
+	out := make([]float64, len(dsts))
+	for i, d := range dsts {
+		out[i] = m.Distance(src, d)
+	}
+	return out
+}
+
 var (
 	_ Metric = MetricFunc(nil)
 

@@ -157,13 +157,18 @@ func (r *Registry) CounterValue(name string) uint64 {
 func SumCounters(prefix string) uint64 { return defaultRegistry.SumCounters(prefix) }
 
 // SumCounters sums every counter whose full name starts with prefix.
+// Summation is order-independent, so it reads the live map under the
+// lock instead of taking Each's sorted snapshot — this runs once per
+// simulation frame and must not allocate.
 func (r *Registry) SumCounters(prefix string) uint64 {
 	var total uint64
-	r.Each(func(name string, metric any) {
+	r.mu.RLock()
+	for name, metric := range r.metrics {
 		if c, ok := metric.(*Counter); ok && strings.HasPrefix(name, prefix) {
 			total += c.Value()
 		}
-	})
+	}
+	r.mu.RUnlock()
 	return total
 }
 

@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 
+	"stabledispatch/internal/costplane"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
 )
@@ -99,6 +100,32 @@ type Market struct {
 	ReqOK [][]bool
 	// TaxiOK[i][j] reports whether request j is ahead of taxi i's dummy.
 	TaxiOK [][]bool
+}
+
+// MakeMarket returns a Market with all four matrices carved from two
+// backing slabs (one float64, one bool). Markets are rebuilt every
+// frame, so a row-per-allocation layout would dominate the frame's
+// allocation profile; the slab layout costs six allocations regardless
+// of size.
+func MakeMarket(nReq, nTaxi int) Market {
+	m := Market{
+		ReqCost:  make([][]float64, nReq),
+		TaxiCost: make([][]float64, nTaxi),
+		ReqOK:    make([][]bool, nReq),
+		TaxiOK:   make([][]bool, nTaxi),
+	}
+	floats := make([]float64, 2*nReq*nTaxi)
+	bools := make([]bool, 2*nReq*nTaxi)
+	for j := 0; j < nReq; j++ {
+		m.ReqCost[j] = floats[j*nTaxi : (j+1)*nTaxi : (j+1)*nTaxi]
+		m.ReqOK[j] = bools[j*nTaxi : (j+1)*nTaxi : (j+1)*nTaxi]
+	}
+	base := nReq * nTaxi
+	for i := 0; i < nTaxi; i++ {
+		m.TaxiCost[i] = floats[base+i*nReq : base+(i+1)*nReq : base+(i+1)*nReq]
+		m.TaxiOK[i] = bools[base+i*nReq : base+(i+1)*nReq : base+(i+1)*nReq]
+	}
+	return m
 }
 
 // NumRequests returns R.
@@ -214,26 +241,34 @@ type Instance struct {
 // pickup distance is within params.MaxPickup, the taxi's net cost is
 // within params.MaxNet, and the taxi has enough seats (the paper pushes
 // seat-infeasible pairs behind both dummies).
+//
+// The full (unpruned) distance plane is built serially; dispatchers on
+// the per-frame hot path instead build a pruned plane once via
+// sim.Frame.CostPlane and call FromPlane.
 func NewInstance(reqs []fleet.Request, taxis []fleet.Taxi, metric geo.Metric, params Params) (*Instance, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	r, t := len(reqs), len(taxis)
+	return FromPlane(costplane.Build(reqs, taxis, metric, costplane.Config{Workers: 1}), params)
+}
+
+// FromPlane builds the non-sharing instance from an already-computed
+// distance plane. The instance aliases the plane's matrices (planes are
+// immutable after Build). A plane pruned at params.MaxPickup yields the
+// same market as an unpruned one: a pruned cell reads +Inf, which fails
+// the pickup threshold exactly like its true distance (the prune radius
+// lower-bounds it) — the pair sits behind the passenger's dummy either
+// way, so preference lists are unchanged.
+func FromPlane(pl *costplane.Plane, params Params) (*Instance, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
 	inst := &Instance{
-		Requests:   reqs,
-		Taxis:      taxis,
-		PickupDist: make([][]float64, t),
-		TripDist:   make([]float64, r),
+		Requests:   pl.Requests,
+		Taxis:      pl.Taxis,
+		PickupDist: pl.PickupMatrix(),
+		TripDist:   pl.Trips(),
 		Params:     params,
-	}
-	for j, req := range reqs {
-		inst.TripDist[j] = req.TripDistance(metric)
-	}
-	for i, taxi := range taxis {
-		inst.PickupDist[i] = make([]float64, r)
-		for j, req := range reqs {
-			inst.PickupDist[i][j] = metric.Distance(taxi.Pos, req.Pickup)
-		}
 	}
 	inst.Market = buildNonSharingMarket(inst)
 	return inst, nil
@@ -241,20 +276,7 @@ func NewInstance(reqs []fleet.Request, taxis []fleet.Taxi, metric geo.Metric, pa
 
 func buildNonSharingMarket(inst *Instance) Market {
 	r, t := len(inst.Requests), len(inst.Taxis)
-	m := Market{
-		ReqCost:  make([][]float64, r),
-		TaxiCost: make([][]float64, t),
-		ReqOK:    make([][]bool, r),
-		TaxiOK:   make([][]bool, t),
-	}
-	for j := 0; j < r; j++ {
-		m.ReqCost[j] = make([]float64, t)
-		m.ReqOK[j] = make([]bool, t)
-	}
-	for i := 0; i < t; i++ {
-		m.TaxiCost[i] = make([]float64, r)
-		m.TaxiOK[i] = make([]bool, r)
-	}
+	m := MakeMarket(r, t)
 	for i, taxi := range inst.Taxis {
 		for j, req := range inst.Requests {
 			pickup := inst.PickupDist[i][j]

@@ -1,27 +1,34 @@
 package roadnet
 
 import (
+	"sync"
 	"testing"
 
 	"stabledispatch/internal/geo"
 )
 
-// TestCacheStatsFIFOEviction drives the Dijkstra memo through its FIFO
-// eviction policy with a capacity of 2 and checks every counter.
+// TestCacheStatsFIFOEviction drives the sharded Dijkstra memo through
+// its per-shard FIFO eviction policy and checks every counter. Capacity
+// 2 splits into two shards (sources assigned by node id & 1) of one
+// table each, so odd and even sources evict independently.
 func TestCacheStatsFIFOEviction(t *testing.T) {
 	g, err := NewGrid(GridConfig{Rows: 3, Cols: 3, Spacing: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m := NewMetric(g, 2)
+	if got := len(m.shards); got != 2 {
+		t.Fatalf("capacity 2 split into %d shards, want 2", got)
+	}
 	node := func(i int) geo.Point { return g.Node(i) }
 
 	if got := m.CacheStats(); got != (CacheStats{}) {
 		t.Fatalf("fresh metric stats = %+v, want zero", got)
 	}
 
-	// Distinct sources 0, 1, 2: three misses; inserting source 2 evicts
-	// source 0 (FIFO).
+	// Distinct sources 0, 1, 2: three misses. Sources 0 and 2 share the
+	// even shard (capacity 1), so inserting source 2 evicts source 0;
+	// source 1 sits alone in the odd shard.
 	m.Distance(node(0), node(5))
 	m.Distance(node(1), node(5))
 	m.Distance(node(2), node(5))
@@ -29,19 +36,21 @@ func TestCacheStatsFIFOEviction(t *testing.T) {
 		t.Errorf("after 3 sources: %+v, want 3 misses, 1 eviction, size 2", got)
 	}
 
-	// Sources 1 and 2 are still cached: two hits, no new eviction. The
-	// reverse lookup (cached destination table) counts as a hit too.
+	// Source 1 is still cached: a hit. Source 8 maps to the even shard
+	// and evicts source 2 — there is no reverse-table shortcut, so a
+	// cached destination never counts as a hit.
 	m.Distance(node(1), node(7))
 	m.Distance(node(8), node(2))
-	if got := m.CacheStats(); got.Hits != 2 || got.Misses != 3 || got.Evictions != 1 {
-		t.Errorf("after cached sources: %+v, want 2 hits", got)
+	if got := m.CacheStats(); got.Hits != 1 || got.Misses != 4 || got.Evictions != 2 {
+		t.Errorf("after mixed probes: %+v, want 1 hit, 4 misses, 2 evictions", got)
 	}
 
-	// Source 0 was evicted: a miss, and FIFO now evicts source 1.
+	// Source 0 was evicted from the even shard (a miss, evicting source
+	// 8); source 1 still occupies the odd shard (a hit).
 	m.Distance(node(0), node(5))
 	m.Distance(node(1), node(5))
-	if got := m.CacheStats(); got.Misses != 5 || got.Evictions != 3 || got.Size != 2 {
-		t.Errorf("after re-querying evicted sources: %+v, want 5 misses, 3 evictions", got)
+	if got := m.CacheStats(); got.Hits != 2 || got.Misses != 5 || got.Evictions != 3 || got.Size != 2 {
+		t.Errorf("after re-querying: %+v, want 2 hits, 5 misses, 3 evictions, size 2", got)
 	}
 
 	// Same-node queries short-circuit before the cache.
@@ -49,5 +58,132 @@ func TestCacheStatsFIFOEviction(t *testing.T) {
 	m.Distance(node(4), node(4))
 	if got := m.CacheStats(); got != before {
 		t.Errorf("same-node query changed stats: %+v → %+v", before, got)
+	}
+}
+
+// TestShardCountFor pins the shard-sizing policy: the largest power of
+// two ≤ min(capacity, maxCacheShards).
+func TestShardCountFor(t *testing.T) {
+	cases := []struct{ capacity, want int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 4}, {7, 4}, {8, 8},
+		{15, 8}, {16, 16}, {100, 16}, {4096, 16},
+	}
+	for _, c := range cases {
+		if got := shardCountFor(c.capacity); got != c.want {
+			t.Errorf("shardCountFor(%d) = %d, want %d", c.capacity, got, c.want)
+		}
+	}
+	// The per-shard budgets must sum to exactly the requested capacity.
+	g, err := NewGrid(GridConfig{Rows: 2, Cols: 2, Spacing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, capacity := range []int{1, 3, 5, 17, 100} {
+		m := NewMetric(g, capacity)
+		total := 0
+		for i := range m.shards {
+			if m.shards[i].capacity < 1 {
+				t.Errorf("capacity %d: shard %d has budget %d", capacity, i, m.shards[i].capacity)
+			}
+			total += m.shards[i].capacity
+		}
+		if total != capacity {
+			t.Errorf("capacity %d: shard budgets sum to %d", capacity, total)
+		}
+	}
+}
+
+// TestDistancesFromMatchesDistance checks the batch API is bit-identical
+// to per-pair Distance calls, including the off-graph Euclid fallback
+// and the same-node short-circuit.
+func TestDistancesFromMatchesDistance(t *testing.T) {
+	g, err := NewGrid(GridConfig{Rows: 4, Cols: 4, Spacing: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetric(g, 4)
+	srcs := []geo.Point{
+		g.Node(0),
+		{X: 0.31, Y: 1.17},
+		{X: 2.0, Y: 0.05},
+	}
+	dsts := []geo.Point{
+		g.Node(0), g.Node(5), g.Node(15),
+		{X: 0.31, Y: 1.17},
+		{X: 1.44, Y: 1.44},
+	}
+	for _, src := range srcs {
+		got := m.DistancesFrom(src, dsts)
+		if len(got) != len(dsts) {
+			t.Fatalf("DistancesFrom returned %d values for %d destinations", len(got), len(dsts))
+		}
+		for i, d := range dsts {
+			want := m.Distance(src, d)
+			if got[i] != want {
+				t.Errorf("DistancesFrom(%v)[%d] = %v, Distance(%v, %v) = %v", src, i, got[i], src, d, want)
+			}
+		}
+	}
+}
+
+// TestCacheConcurrentReaders hammers the sharded memo from many
+// goroutines under -race: every concurrently observed distance must be
+// bit-identical to the serially computed value, and the shard counters
+// must add up (each probe is exactly one hit or one miss, with size
+// never above capacity).
+func TestCacheConcurrentReaders(t *testing.T) {
+	g, err := NewGrid(GridConfig{Rows: 5, Cols: 5, Spacing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 8 over 25 sources forces concurrent evictions too.
+	m := NewMetric(g, 8)
+	n := g.NumNodes()
+
+	want := make([][]float64, n)
+	serial := NewMetric(g, n)
+	for u := 0; u < n; u++ {
+		pts := make([]geo.Point, n)
+		for v := 0; v < n; v++ {
+			pts[v] = g.Node(v)
+		}
+		want[u] = serial.DistancesFrom(g.Node(u), pts)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for u := 0; u < n; u++ {
+					src := (u + w*3) % n
+					for v := 0; v < n; v++ {
+						got := m.Distance(g.Node(src), g.Node(v))
+						if got != want[src][v] {
+							t.Errorf("concurrent Distance(%d,%d) = %v, want %v", src, v, got, want[src][v])
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := m.CacheStats()
+	if s.Size > 8 {
+		t.Errorf("cache size %d exceeds capacity 8", s.Size)
+	}
+	// Each same-shard probe is exactly one hit or one miss; same-node
+	// queries short-circuit. goroutines × reps × n sources × (n-1)
+	// destinations, one probe each.
+	wantProbes := uint64(goroutines * 3 * n * (n - 1))
+	if s.Hits+s.Misses != wantProbes {
+		t.Errorf("hits(%d)+misses(%d) = %d, want %d probes", s.Hits, s.Misses, s.Hits+s.Misses, wantProbes)
+	}
+	if s.Misses < uint64(len(m.shards)) {
+		t.Errorf("misses = %d, want at least one per shard", s.Misses)
 	}
 }

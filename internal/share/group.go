@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"stabledispatch/internal/costplane"
 	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
@@ -100,15 +101,49 @@ func FeasibleGroups(reqs []fleet.Request, m geo.Metric, cfg PackConfig) ([]Group
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var groups []Group
-	rec := dtrace.Active()
-
 	near := func(a, b int) bool {
 		if cfg.PairRadius <= 0 {
 			return true
 		}
 		return m.Distance(reqs[a].Pickup, reqs[b].Pickup) <= cfg.PairRadius
 	}
+	solo := func(idx int) float64 { return reqs[idx].TripDistance(m) }
+	return feasibleGroups(reqs, m, cfg, near, solo), nil
+}
+
+// FeasibleGroupsPlane is FeasibleGroups reading pickup-pair distances
+// and solo trips from a per-frame cost plane instead of querying the
+// metric. It considers the first n of the plane's requests (the packing
+// batch is a prefix of the frame queue, so plane indices align). The
+// result is identical to FeasibleGroups: a pair-pruned plane cell reads
+// +Inf, which fails the PairRadius prefilter exactly like its true
+// distance would. Route search still uses the plane's metric — route
+// permutations visit point pairs no frame-wide matrix can hold.
+func FeasibleGroupsPlane(n int, pl *costplane.Plane, cfg PackConfig) ([]Group, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// With fewer than two batched requests no pair is ever consulted, so
+	// a plane without the pair matrix is fine (dispatchers skip building
+	// it for singleton batches).
+	if cfg.PairRadius > 0 && n >= 2 && !pl.HasPairs() {
+		return nil, fmt.Errorf("share: pair-radius pruning needs a plane built with Pairs")
+	}
+	reqs := pl.Requests[:n]
+	near := func(a, b int) bool {
+		if cfg.PairRadius <= 0 {
+			return true
+		}
+		return pl.PairDist(a, b) <= cfg.PairRadius
+	}
+	return feasibleGroups(reqs, pl.Metric(), cfg, near, pl.Trip), nil
+}
+
+// feasibleGroups is the shared enumeration core: near prunes candidate
+// pairs, solo returns a request's solo trip distance.
+func feasibleGroups(reqs []fleet.Request, m geo.Metric, cfg PackConfig, near func(a, b int) bool, solo func(idx int) float64) []Group {
+	var groups []Group
+	rec := dtrace.Active()
 
 	tryGroup := func(members []int) (Group, bool) {
 		sub := make([]fleet.Request, len(members))
@@ -123,13 +158,13 @@ func FeasibleGroups(reqs []fleet.Request, m geo.Metric, cfg PackConfig) ([]Group
 		}
 		soloSum := 0.0
 		for g, idx := range members {
-			solo := reqs[idx].TripDistance(m)
-			if d := plan.Detour(g, solo); d > cfg.Theta {
+			soloTrip := solo(idx)
+			if d := plan.Detour(g, soloTrip); d > cfg.Theta {
 				traceGroup(rec, reqs, members, dtrace.KindGroupRejected, "detour_exceeded",
 					fmt.Sprintf("rider r%d detour %.2f km exceeds θ=%.2f km on the best shared route", reqs[idx].ID, d, cfg.Theta))
 				return Group{}, false
 			}
-			soloSum += solo
+			soloSum += soloTrip
 		}
 		if !cfg.AllowChaining && plan.Length >= soloSum-1e-9 {
 			// The "shared" route saves nothing over driving the
@@ -187,7 +222,7 @@ func FeasibleGroups(reqs []fleet.Request, m geo.Metric, cfg PackConfig) ([]Group
 			}
 		}
 	}
-	return groups, nil
+	return groups
 }
 
 // PackResult is the outcome of the packing stage: the chosen disjoint
@@ -207,6 +242,21 @@ func Pack(reqs []fleet.Request, m geo.Metric, cfg PackConfig) (PackResult, error
 	if err != nil {
 		return PackResult{}, err
 	}
+	return pack(reqs, groups, cfg), nil
+}
+
+// PackPlane is Pack reading distances from a per-frame cost plane; it
+// packs the first n of the plane's requests.
+func PackPlane(n int, pl *costplane.Plane, cfg PackConfig) (PackResult, error) {
+	groups, err := FeasibleGroupsPlane(n, pl, cfg)
+	if err != nil {
+		return PackResult{}, err
+	}
+	return pack(pl.Requests[:n], groups, cfg), nil
+}
+
+// pack solves the maximum set packing over the enumerated groups.
+func pack(reqs []fleet.Request, groups []Group, cfg PackConfig) PackResult {
 	problem := setpack.Problem{N: len(reqs), Sets: make([][]int, len(groups))}
 	for k, g := range groups {
 		problem.Sets[k] = g.Members
@@ -245,5 +295,5 @@ func Pack(reqs []fleet.Request, m geo.Metric, cfg PackConfig) (PackResult, error
 	sort.Slice(res.Groups, func(a, b int) bool {
 		return res.Groups[a].Members[0] < res.Groups[b].Members[0]
 	})
-	return res, nil
+	return res
 }

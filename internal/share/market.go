@@ -3,6 +3,7 @@ package share
 import (
 	"fmt"
 
+	"stabledispatch/internal/costplane"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/pref"
@@ -21,8 +22,16 @@ type Unit struct {
 
 // SingleUnit builds the trivial unit for request idx riding alone.
 func SingleUnit(idx int, reqs []fleet.Request, m geo.Metric) Unit {
-	r := reqs[idx]
-	trip := r.TripDistance(m)
+	return singleUnit(reqs[idx], idx, reqs[idx].TripDistance(m))
+}
+
+// SingleUnitPlane is SingleUnit reading the trip distance from a
+// per-frame cost plane.
+func SingleUnitPlane(idx int, pl *costplane.Plane) Unit {
+	return singleUnit(pl.Requests[idx], idx, pl.Trip(idx))
+}
+
+func singleUnit(r fleet.Request, idx int, trip float64) Unit {
 	return Unit{
 		Members: []int{idx},
 		Plan: RoutePlan{
@@ -42,12 +51,22 @@ func SingleUnit(idx int, reqs []fleet.Request, m geo.Metric) Unit {
 // first member index, which keeps the second-stage matching
 // deterministic.
 func (r PackResult) Units(reqs []fleet.Request, m geo.Metric) []Unit {
+	return r.units(func(idx int) Unit { return SingleUnit(idx, reqs, m) })
+}
+
+// UnitsPlane is Units reading trip distances from a per-frame cost
+// plane.
+func (r PackResult) UnitsPlane(pl *costplane.Plane) []Unit {
+	return r.units(func(idx int) Unit { return SingleUnitPlane(idx, pl) })
+}
+
+func (r PackResult) units(single func(idx int) Unit) []Unit {
 	units := make([]Unit, 0, len(r.Groups)+len(r.Singles))
 	for _, g := range r.Groups {
 		units = append(units, Unit{Members: g.Members, Plan: g.Plan})
 	}
 	for _, idx := range r.Singles {
-		units = append(units, SingleUnit(idx, reqs, m))
+		units = append(units, single(idx))
 	}
 	// Insertion sort by first member keeps the common case (already
 	// mostly ordered) cheap and avoids an import for one call.
@@ -89,10 +108,13 @@ func (u Unit) Assignment(taxiID int, reqs []fleet.Request) fleet.Assignment {
 // D_ck(t, r^s) + β·[D_ck(r^s, r^d) − D(r^s, r^d)]. Lower is better; for
 // a single rider this reduces to D(t, r^s), the non-sharing value.
 func (u Unit) PassengerCost(lead float64, reqs []fleet.Request, m geo.Metric, beta float64) float64 {
+	return u.passengerCost(lead, func(idx int) float64 { return reqs[idx].TripDistance(m) }, beta)
+}
+
+func (u Unit) passengerCost(lead float64, solo func(idx int) float64, beta float64) float64 {
 	total := 0.0
 	for g, idx := range u.Members {
-		solo := reqs[idx].TripDistance(m)
-		total += lead + u.Plan.PickupOffset[g] + beta*u.Plan.Detour(g, solo)
+		total += lead + u.Plan.PickupOffset[g] + beta*u.Plan.Detour(g, solo(idx))
 	}
 	return total / float64(len(u.Members))
 }
@@ -102,9 +124,13 @@ func (u Unit) PassengerCost(lead float64, reqs []fleet.Request, m geo.Metric, be
 // D_ck(t) is the total driving distance (lead-in plus route). For a
 // single rider this reduces to D(t, r^s) − α·D(r^s, r^d).
 func (u Unit) TaxiCost(lead float64, reqs []fleet.Request, m geo.Metric, alpha float64) float64 {
+	return u.taxiCost(lead, func(idx int) float64 { return reqs[idx].TripDistance(m) }, alpha)
+}
+
+func (u Unit) taxiCost(lead float64, solo func(idx int) float64, alpha float64) float64 {
 	totalTrip := 0.0
 	for _, idx := range u.Members {
-		totalTrip += reqs[idx].TripDistance(m)
+		totalTrip += solo(idx)
 	}
 	return lead + u.Plan.Length - (alpha+1)*totalTrip
 }
@@ -128,46 +154,72 @@ func (u Unit) MemberDissatisfactions(pos geo.Point, reqs []fleet.Request, m geo.
 // within params.MaxPickup, a taxi accepts units within params.MaxNet, and
 // both sides reject pairs the taxi lacks seats for.
 func BuildMarket(units []Unit, reqs []fleet.Request, taxis []fleet.Taxi, m geo.Metric, params pref.Params) (*pref.Market, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
-	}
-	for _, u := range units {
+	starts := make([]geo.Point, len(units))
+	for k, u := range units {
 		if len(u.Members) == 0 || len(u.Plan.Stops) == 0 {
 			return nil, fmt.Errorf("share: unit with no members or empty plan")
 		}
+		starts[k] = u.Start()
+	}
+	solo := func(idx int) float64 { return reqs[idx].TripDistance(m) }
+	lead := func(i, k int) float64 { return m.Distance(taxis[i].Pos, starts[k]) }
+	return buildMarket(units, taxis, params, solo, lead)
+}
+
+// BuildMarketPlane is BuildMarket reading every distance from a
+// per-frame cost plane: the lead-in is the plane's taxi→pickup cell of
+// the unit's first stop (always a member's pickup), and the unit
+// constants use the plane's solo trips. A plane pruned at
+// params.MaxPickup yields the same matching market: a pruned lead reads
+// +Inf, and since the unit constants are non-negative under the
+// triangle inequality, the true passenger cost also exceeds the
+// threshold — the pair sits behind the dummy either way.
+func BuildMarketPlane(units []Unit, taxis []fleet.Taxi, pl *costplane.Plane, params pref.Params) (*pref.Market, error) {
+	startIdx := make([]int, len(units))
+	for k, u := range units {
+		if len(u.Members) == 0 || len(u.Plan.Stops) == 0 {
+			return nil, fmt.Errorf("share: unit with no members or empty plan")
+		}
+		startIdx[k] = -1
+		startID := u.Plan.Stops[0].RequestID
+		for _, idx := range u.Members {
+			if pl.Requests[idx].ID == startID {
+				startIdx[k] = idx
+				break
+			}
+		}
+		if startIdx[k] < 0 {
+			return nil, fmt.Errorf("share: unit %d starts at request %d, not a member", k, startID)
+		}
+	}
+	lead := func(i, k int) float64 { return pl.PickupDist(i, startIdx[k]) }
+	return buildMarket(units, taxis, params, pl.Trip, lead)
+}
+
+// buildMarket is the shared market core: solo returns a member's solo
+// trip distance, lead the taxi→unit-start distance.
+func buildMarket(units []Unit, taxis []fleet.Taxi, params pref.Params, solo func(idx int) float64, lead func(i, k int) float64) (*pref.Market, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
 	}
 	nu, nt := len(units), len(taxis)
-	mk := &pref.Market{
-		ReqCost:  make([][]float64, nu),
-		TaxiCost: make([][]float64, nt),
-		ReqOK:    make([][]bool, nu),
-		TaxiOK:   make([][]bool, nt),
-	}
-	for k := 0; k < nu; k++ {
-		mk.ReqCost[k] = make([]float64, nt)
-		mk.ReqOK[k] = make([]bool, nt)
-	}
-	for i := 0; i < nt; i++ {
-		mk.TaxiCost[i] = make([]float64, nu)
-		mk.TaxiOK[i] = make([]bool, nu)
-	}
+	market := pref.MakeMarket(nu, nt)
+	mk := &market
 	// Both interest formulas decompose as lead-in distance plus a
 	// taxi-independent unit constant, so precompute the constants once
-	// per unit and spend exactly one metric evaluation per (unit, taxi)
+	// per unit and spend exactly one distance lookup per (unit, taxi)
 	// pair — this is the per-frame hot loop of the sharing dispatchers.
-	passengerConst := make([]float64, nu)
-	taxiConst := make([]float64, nu)
-	starts := make([]geo.Point, nu)
+	consts := make([]float64, 2*nu)
+	passengerConst, taxiConst := consts[:nu:nu], consts[nu:]
 	for k, u := range units {
-		passengerConst[k] = u.PassengerCost(0, reqs, m, params.Beta)
-		taxiConst[k] = u.TaxiCost(0, reqs, m, params.Alpha)
-		starts[k] = u.Start()
+		passengerConst[k] = u.passengerCost(0, solo, params.Beta)
+		taxiConst[k] = u.taxiCost(0, solo, params.Alpha)
 	}
 	for i, taxi := range taxis {
 		for k, u := range units {
-			lead := m.Distance(taxi.Pos, starts[k])
-			pc := lead + passengerConst[k]
-			tc := lead + taxiConst[k]
+			l := lead(i, k)
+			pc := l + passengerConst[k]
+			tc := l + taxiConst[k]
 			seatsOK := taxi.Capacity() >= u.Plan.MaxLoad
 
 			mk.ReqCost[k][i] = pc

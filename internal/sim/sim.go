@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"sync"
 	"time"
 
+	"stabledispatch/internal/costplane"
 	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
@@ -48,6 +50,49 @@ type Frame struct {
 	Metric geo.Metric
 	// Params are the interest-model coefficients in force.
 	Params pref.Params
+	// Workers bounds the cost-plane construction pool; ≤ 0 means
+	// runtime.GOMAXPROCS(0). Assignments are bit-identical for every
+	// value.
+	Workers int
+
+	// planes memoises cost planes by content key, so a frame visited by
+	// several consumers (a resilient primary and its fallback, or the
+	// preference build and a baseline's cost matrix) computes each
+	// distance at most once. A frame sees at most a couple of distinct
+	// configurations, so a tiny linear list beats a map here. Guarded by
+	// planeMu: dispatch.Resilient may run its fallback while a timed-out
+	// primary still holds the frame.
+	planeMu sync.Mutex
+	planes  []framePlane
+}
+
+// framePlane is one memoised (configuration, plane) pair of a frame.
+type framePlane struct {
+	key costplane.Key
+	pl  *costplane.Plane
+}
+
+// CostPlane returns the frame's distance plane for the given
+// configuration, building it on first use and memoising it by
+// cfg.Key(). taxis must be the frame's idle fleet (every dispatcher
+// derives the same slice from the frame, so concurrent callers agree).
+// A memoised hit counts the plane's cells as reused.
+func (f *Frame) CostPlane(taxis []fleet.Taxi, cfg costplane.Config) *costplane.Plane {
+	if cfg.Workers == 0 {
+		cfg.Workers = f.Workers
+	}
+	key := cfg.Key()
+	f.planeMu.Lock()
+	defer f.planeMu.Unlock()
+	for _, e := range f.planes {
+		if e.key == key {
+			e.pl.MarkReuse()
+			return e.pl
+		}
+	}
+	pl := costplane.Build(f.Requests, taxis, f.Metric, cfg)
+	f.planes = append(f.planes, framePlane{key: key, pl: pl})
+	return pl
 }
 
 // IdleTaxis returns the idle subset of the fleet, preserving order.
@@ -133,6 +178,10 @@ type Config struct {
 	// internal/tseries. Nil disables per-frame recording entirely (the
 	// frame loop then pays nothing for it).
 	KPI *tseries.Recorder
+	// Workers bounds the per-frame cost-plane worker pool; ≤ 0 means
+	// runtime.GOMAXPROCS(0). Purely a throughput knob: simulation
+	// output is bit-identical for every value.
+	Workers int
 }
 
 // Outage takes one taxi out of service for the frame interval
@@ -485,9 +534,10 @@ func (s *Simulator) releaseArrivals() {
 
 func (s *Simulator) view() *Frame {
 	f := &Frame{
-		Number: s.frame,
-		Metric: s.cfg.Metric,
-		Params: s.cfg.Params,
+		Number:  s.frame,
+		Metric:  s.cfg.Metric,
+		Params:  s.cfg.Params,
+		Workers: s.cfg.Workers,
 	}
 	for _, id := range s.pending {
 		f.Requests = append(f.Requests, s.reqs[id].req)

@@ -171,7 +171,10 @@ func BestSharedRoute(reqs []Request, m Metric) (RoutePlan, error) {
 
 // Simulator types.
 type (
-	// SimConfig parameterises a simulation run.
+	// SimConfig parameterises a simulation run. Its Workers field sizes
+	// the per-frame cost-plane worker pool (the shared distance oracle
+	// every dispatcher reads); ≤ 0 means runtime.GOMAXPROCS(0), and
+	// simulation output is bit-identical for every value.
 	SimConfig = sim.Config
 	// Simulator is the discrete-time fleet simulator.
 	Simulator = sim.Simulator
