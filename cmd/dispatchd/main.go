@@ -19,8 +19,10 @@
 //	GET    /v1/explain/{id}            why this taxi: ranks + rejected alternatives
 //	GET    /v1/frames/{n}/stability    blocking-pair certificate of frame n
 //	GET    /v1/timeseries              per-frame KPI series (?series=&from=&to=&step=&limit=&format=csv)
+//	GET    /v1/slo                     per-objective SLO alert table (-slo-file)
+//	POST   /v1/debug/bundle            force a flight-recorder diagnostic bundle (-bundle-dir)
 //	GET    /v1/metrics        Prometheus text format
-//	GET    /healthz           uptime, frame, and occupancy counts
+//	GET    /healthz           uptime, frame, occupancy counts, and SLO alert state
 //
 // Decision tracing is on by default (disable with -dtrace=false); the
 // trace ring keeps the most recent -trace-capacity requests.
@@ -44,9 +46,11 @@ import (
 	"stabledispatch/internal/carpool"
 	"stabledispatch/internal/dispatch"
 	"stabledispatch/internal/dtrace"
+	"stabledispatch/internal/flightrec"
 	"stabledispatch/internal/pref"
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
+	"stabledispatch/internal/slo"
 	"stabledispatch/internal/trace"
 	"stabledispatch/internal/tseries"
 )
@@ -73,8 +77,10 @@ func run(args []string) error {
 		frameDDL = fs.Duration("frame-deadline", 0, "per-frame dispatch compute deadline; overruns and panics degrade to greedy (0 = unbounded)")
 		dtraceOn = fs.Bool("dtrace", true, "record per-request decision traces and frame stability certificates")
 		traceCap = fs.Int("trace-capacity", dtrace.DefaultCapacity, "max request traces retained in the decision-trace ring")
-		kpiCap   = fs.Int("kpi-capacity", tseries.DefaultCapacity, "per-frame KPI samples retained for /v1/timeseries (0 disables recording)")
-		workers  = fs.Int("workers", 0, "cost-plane worker pool size; 0 = GOMAXPROCS (results are identical for any value)")
+		kpiCap    = fs.Int("kpi-capacity", tseries.DefaultCapacity, "per-frame KPI samples retained for /v1/timeseries (0 disables recording)")
+		workers   = fs.Int("workers", 0, "cost-plane worker pool size; 0 = GOMAXPROCS (results are identical for any value)")
+		sloFile   = fs.String("slo-file", "", "SLO definitions file; objectives are evaluated every frame and served at /v1/slo (requires KPI recording)")
+		bundleDir = fs.String("bundle-dir", "", "flight-recorder bundle directory; enables diagnostic bundles on SLO breach, degrade, panic, certificate violation, or POST /v1/debug/bundle")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,11 +118,28 @@ func run(args []string) error {
 	if *kpiCap > 0 {
 		kpi = tseries.New(tseries.Config{Capacity: *kpiCap})
 	}
+	if *bundleDir != "" {
+		if _, err := flightrec.Configure(flightrec.Config{Dir: *bundleDir, ChromeTrace: *dtraceOn}); err != nil {
+			return err
+		}
+		defer flightrec.Disable()
+	}
+	var sloEng *slo.Engine
+	if *sloFile != "" {
+		if kpi == nil {
+			return fmt.Errorf("-slo-file requires KPI recording (-kpi-capacity > 0)")
+		}
+		sloEng, err = slo.Load(*sloFile)
+		if err != nil {
+			return err
+		}
+	}
 	s, err := sim.New(sim.Config{
 		Params:     pref.DefaultParams(),
 		Dispatcher: d,
 		Events:     events,
 		KPI:        kpi,
+		SLO:        sloEng,
 		Workers:    *workers,
 	}, fleetTaxis, nil)
 	if err != nil {
@@ -131,7 +154,7 @@ func run(args []string) error {
 
 	// Middleware order: metrics/logging outermost (a recovered panic is
 	// still logged with its 500), then panic recovery, then the body cap.
-	server := newServer(s).withEvents(events)
+	server := newServer(s).withEvents(events).withSLO(sloEng)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           withObs(accessLogger, withRecovery(logger, withBodyLimit(server.handler()))),

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"stabledispatch/internal/flightrec"
 	"stabledispatch/internal/obs"
 )
 
@@ -34,6 +35,8 @@ func withRecovery(logger *slog.Logger, next http.Handler) http.Handler {
 					logger.Error("handler panic",
 						"method", r.Method, "path", r.URL.Path, "panic", rec)
 				}
+				flightrec.TriggerActive(-1, flightrec.ReasonPanic,
+					fmt.Sprintf("HTTP handler panic on %s %s: %v", r.Method, r.URL.Path, rec))
 				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal server error"))
 			}
 		}()

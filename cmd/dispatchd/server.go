@@ -13,6 +13,7 @@ import (
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/obs"
 	"stabledispatch/internal/sim"
+	"stabledispatch/internal/slo"
 	"stabledispatch/internal/stats"
 )
 
@@ -24,6 +25,7 @@ type server struct {
 	mu     sync.Mutex
 	sim    *sim.Simulator
 	events *eventBuffer
+	slo    *slo.Engine
 	nextID int
 	start  time.Time
 }
@@ -60,6 +62,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/traces/{id}", s.getTrace)
 	mux.HandleFunc("GET /v1/explain/{id}", s.getExplain)
 	mux.HandleFunc("GET /v1/frames/{n}/stability", s.getStability)
+	mux.HandleFunc("GET /v1/slo", s.getSLO)
+	mux.HandleFunc("POST /v1/debug/bundle", s.postBundle)
 	mux.HandleFunc("GET /healthz", s.getHealth)
 	return mux
 }
@@ -75,6 +79,10 @@ type healthOut struct {
 	Taxis         int     `json:"taxis"`
 	TaxisIdle     int     `json:"taxisIdle"`
 	TaxisOffline  int     `json:"taxisOffline"`
+	// SLO is the condensed alert state (absent when no SLO file is
+	// loaded). Status stays "ok" for liveness — an SLO breach is an
+	// alert, not a dead process.
+	SLO *sloHealth `json:"slo,omitempty"`
 }
 
 func (s *server) getHealth(w http.ResponseWriter, _ *http.Request) {
@@ -90,6 +98,7 @@ func (s *server) getHealth(w http.ResponseWriter, _ *http.Request) {
 		Taxis:         c.Taxis,
 		TaxisIdle:     c.TaxisIdle,
 		TaxisOffline:  c.TaxisOffline,
+		SLO:           s.sloHealthOut(),
 	})
 }
 

@@ -7,6 +7,8 @@
 //	taxisim -algo all                      # every algorithm
 //	taxisim -algo nstd-p -trace-out decisions.json   # Chrome trace of dispatch decisions
 //	taxisim -algo nstd-p -kpi-out kpi.csv            # per-frame KPI time series
+//	taxisim -algo nstd-p,greedy -kpi-out kpi.csv     # one CSV per algorithm (kpi.nstd-p.csv, …)
+//	taxisim -algo nstd-p -slo ci/watchdog.slo -bundle-dir bundles   # SLO watchdog + flight recorder
 //
 // Algorithms: nstd-p, nstd-t, nstd-c, nstd-m, greedy, mincost, bottleneck
 // (non-sharing); std-p, std-t, raii, sarp, ilp (sharing).
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"stabledispatch/internal/carpool"
@@ -24,10 +27,12 @@ import (
 	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/fault"
 	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/flightrec"
 	"stabledispatch/internal/obs"
 	"stabledispatch/internal/pref"
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
+	"stabledispatch/internal/slo"
 	"stabledispatch/internal/stats"
 	"stabledispatch/internal/trace"
 	"stabledispatch/internal/tseries"
@@ -56,8 +61,10 @@ func run(args []string, out io.Writer) error {
 		workers   = fs.Int("workers", 0, "cost-plane worker pool size; 0 = GOMAXPROCS (results are identical for any value)")
 		eventPath = fs.String("events", "", "write a JSONL lifecycle event log to this file")
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event JSON of dispatch decisions to this file (single algorithm only)")
-		kpiOut    = fs.String("kpi-out", "", "write the per-frame KPI time series as CSV to this file (single algorithm only)")
+		kpiOut    = fs.String("kpi-out", "", "write the per-frame KPI time series as CSV to this file (multi-algorithm runs write one suffixed file per algorithm)")
 		traceCap  = fs.Int("trace-capacity", dtrace.DefaultCapacity, "max request traces retained when -trace-out is set")
+		sloPath   = fs.String("slo", "", "SLO definitions file; objectives are evaluated every frame and a report line is printed per run")
+		bundleDir = fs.String("bundle-dir", "", "flight-recorder bundle directory; enables diagnostic bundles on SLO breach, degrade, or certificate violation")
 
 		faultSeed     = fs.Int64("fault-seed", 0, "seed for the fault-injection schedule (0 = derive from -seed)")
 		breakdownRate = fs.Float64("breakdown-rate", 0, "per-frame probability a busy taxi breaks down mid-route")
@@ -158,20 +165,21 @@ func run(args []string, out io.Writer) error {
 		dtrace.Default().SetCapacity(*traceCap)
 		defer dtrace.SetEnabled(false)
 	}
-	var kpi *tseries.Recorder
-	if *kpiOut != "" {
-		// One CSV describes one run; a comparison would need a file per
-		// algorithm.
-		if len(names) > 1 {
-			return fmt.Errorf("-kpi-out requires a single algorithm, got %d", len(names))
+	var sloDefs []slo.Def
+	if *sloPath != "" {
+		sloDefs, err = slo.ParseFile(*sloPath)
+		if err != nil {
+			return err
 		}
-		// Downsampling keeps the whole-run trajectory bounded: a paper-
-		// scale day (1440 frames) fits losslessly, and longer replays
-		// compact to every 2nd/4th/... frame instead of dropping the
-		// start of the day.
-		kpi = tseries.New(tseries.Config{Capacity: 4096, Downsample: true})
+	}
+	if *bundleDir != "" {
+		if _, err := flightrec.Configure(flightrec.Config{Dir: *bundleDir, ChromeTrace: *traceOut != ""}); err != nil {
+			return err
+		}
+		defer flightrec.Disable()
 	}
 	var reports []*sim.Report
+	var sloLines []string
 	for _, name := range names {
 		d, err := dispatcherByName(strings.TrimSpace(name), *theta)
 		if err != nil {
@@ -179,6 +187,22 @@ func run(args []string, out io.Writer) error {
 		}
 		if *frameDDL > 0 {
 			d = dispatch.NewResilient(d, nil, *frameDDL)
+		}
+		// Each algorithm gets its own recorder so a comparison run keeps
+		// per-run trajectories separate. Downsampling keeps the whole-run
+		// trajectory bounded: a paper-scale day (1440 frames) fits
+		// losslessly, and longer replays compact to every 2nd/4th/...
+		// frame instead of dropping the start of the day. The SLO engine
+		// needs the sample stream too, so -slo implies a recorder.
+		var kpi *tseries.Recorder
+		if *kpiOut != "" || len(sloDefs) > 0 {
+			kpi = tseries.New(tseries.Config{Capacity: 4096, Downsample: true})
+		}
+		var sloEng *slo.Engine
+		if len(sloDefs) > 0 {
+			if sloEng, err = slo.New(sloDefs); err != nil {
+				return err
+			}
 		}
 		s, err := sim.New(sim.Config{
 			SpeedKmH:       *speed,
@@ -188,6 +212,7 @@ func run(args []string, out io.Writer) error {
 			Events:         events,
 			Faults:         faults,
 			KPI:            kpi,
+			SLO:            sloEng,
 			Workers:        *workers,
 		}, fleetTaxis, reqs)
 		if err != nil {
@@ -198,21 +223,46 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		reports = append(reports, rep)
+		if *kpiOut != "" {
+			path := *kpiOut
+			if len(names) > 1 {
+				path = kpiOutPath(*kpiOut, strings.TrimSpace(name))
+			}
+			if err := writeKPISeries(path, kpi); err != nil {
+				return err
+			}
+		}
+		if sloEng != nil {
+			sloLines = append(sloLines, fmt.Sprintf("%s: %s", rep.Algorithm, sloEng.Report()))
+		}
 	}
 	if *traceOut != "" {
 		if err := writeChromeTrace(*traceOut); err != nil {
 			return err
 		}
 	}
-	if *kpiOut != "" {
-		if err := writeKPISeries(*kpiOut, kpi); err != nil {
+	if len(reports) == 1 {
+		if err := printSummary(out, reports[0], len(reqs), *taxis); err != nil {
+			return err
+		}
+	} else if err := printComparison(out, reports, len(reqs), *taxis); err != nil {
+		return err
+	}
+	for _, line := range sloLines {
+		if _, err := fmt.Fprintln(out, line); err != nil {
 			return err
 		}
 	}
-	if len(reports) == 1 {
-		return printSummary(out, reports[0], len(reqs), *taxis)
-	}
-	return printComparison(out, reports, len(reqs), *taxis)
+	return nil
+}
+
+// kpiOutPath derives the per-algorithm CSV path for a multi-algorithm
+// run by inserting the algorithm name before the extension:
+// "out/kpi.csv" + "nstd-p" → "out/kpi.nstd-p.csv".
+func kpiOutPath(base, algo string) string {
+	dir, file := filepath.Split(base)
+	ext := filepath.Ext(file)
+	return dir + strings.TrimSuffix(file, ext) + "." + strings.ToLower(algo) + ext
 }
 
 // writeKPISeries dumps the run's per-frame KPI trajectory as CSV, every

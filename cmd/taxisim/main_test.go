@@ -273,13 +273,46 @@ func TestRunWritesKPISeries(t *testing.T) {
 	}
 }
 
-func TestKPIOutRejectsMultiAlgorithm(t *testing.T) {
+// TestKPIOutMultiAlgorithm checks a comparison run writes one suffixed
+// CSV per algorithm instead of erroring or overwriting.
+func TestKPIOutMultiAlgorithm(t *testing.T) {
+	dir := t.TempDir()
 	var sb strings.Builder
 	err := run([]string{
 		"-algo", "nstd-p,greedy", "-taxis", "4", "-frames", "5",
-		"-kpi-out", filepath.Join(t.TempDir(), "kpi.csv"),
+		"-volume", "800", "-seed", "7",
+		"-kpi-out", filepath.Join(dir, "kpi.csv"),
 	}, &sb)
-	if err == nil || !strings.Contains(err.Error(), "single algorithm") {
-		t.Errorf("err = %v, want single-algorithm rejection", err)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "kpi.csv")); err == nil {
+		t.Error("unsuffixed kpi.csv written on a multi-algorithm run")
+	}
+	for _, name := range []string{"kpi.nstd-p.csv", "kpi.greedy.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("per-algorithm CSV missing: %v", err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 6 {
+			t.Errorf("%s has %d lines, want header + >=5 frames", name, len(lines))
+		}
+		if !strings.HasPrefix(lines[0], "frame,delay_mean,") {
+			t.Errorf("%s header %q", name, lines[0])
+		}
+	}
+}
+
+func TestKPIOutPath(t *testing.T) {
+	cases := []struct{ base, algo, want string }{
+		{"kpi.csv", "nstd-p", "kpi.nstd-p.csv"},
+		{"out/day.csv", "Greedy", "out/day.greedy.csv"},
+		{"noext", "ilp", "noext.ilp"},
+	}
+	for _, c := range cases {
+		if got := kpiOutPath(c.base, c.algo); got != c.want {
+			t.Errorf("kpiOutPath(%q, %q) = %q, want %q", c.base, c.algo, got, c.want)
+		}
 	}
 }

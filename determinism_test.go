@@ -30,6 +30,7 @@ import (
 var deterministicSeries = []string{
 	"delay_mean", "delay_p95", "pass_diss_mean", "taxi_diss_mean",
 	"served", "queued", "expired", "shared_rides", "degraded_frames",
+	"stability_violations",
 }
 
 // runFingerprint executes one simulation and serialises everything the

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/flightrec"
 	"stabledispatch/internal/sim"
 )
 
@@ -80,7 +81,8 @@ func (d *Resilient) Dispatch(f *sim.Frame) ([]fleet.Assignment, error) {
 	}
 }
 
-// degrade counts the degraded frame and reruns it with the fallback.
+// degrade counts the degraded frame, fires the flight recorder, and
+// reruns the frame with the fallback.
 func (d *Resilient) degrade(f *sim.Frame, reason string, cause error) ([]fleet.Assignment, error) {
 	if c := obsDegraded[reason]; c != nil {
 		c.Inc()
@@ -89,6 +91,8 @@ func (d *Resilient) degrade(f *sim.Frame, reason string, cause error) ([]fleet.A
 		"frame", f.Number, "primary", d.primary.Name(),
 		"fallback", d.fallback.Name(), "reason", reason, "err", cause)
 	traceDegrade(f.Number, d.primary.Name(), d.fallback.Name(), reason, cause)
+	flightrec.TriggerActive(int64(f.Number), flightrec.ReasonDegraded,
+		fmt.Sprintf("%s degraded to %s (%s): %v", d.primary.Name(), d.fallback.Name(), reason, cause))
 	res := safeDispatch(d.fallback, f)
 	if res.err != nil {
 		return nil, fmt.Errorf("dispatch: fallback %s after %s degrade: %w", d.fallback.Name(), reason, res.err)

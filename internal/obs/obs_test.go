@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -192,10 +193,65 @@ func TestWritePrometheus(t *testing.T) {
 		`stage_seconds_bucket{stage="matching",le="+Inf"} 3`,
 		`stage_seconds_sum{stage="matching"} 5.055`,
 		`stage_seconds_count{stage="matching"} 3`,
+		"# TYPE stage_seconds_p50 gauge\n",
+		"# TYPE stage_seconds_p95 gauge\n",
+		"# TYPE stage_seconds_p99 gauge\n",
+		`stage_seconds_p50{stage="matching"} `,
+		`stage_seconds_p95{stage="matching"} `,
+		`stage_seconds_p99{stage="matching"} `,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+	// The derived quantile gauges carry the interpolated values.
+	if got := lineValue(t, out, `stage_seconds_p50{stage="matching"}`); got > 0.1 {
+		t.Errorf("p50 gauge = %v, want ≤ 0.1", got)
+	}
+}
+
+// lineValue extracts the sample value of one exposition line.
+func lineValue(t *testing.T, out, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not in output:\n%s", series, out)
+	return 0
+}
+
+// TestWritePrometheusQuantileFamilies checks derived families group all
+// labelled series of a base under one TYPE header and skip
+// never-observed histograms.
+func TestWritePrometheusQuantileFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.GetOrCreateHistogram(`stage_seconds{stage="a"}`, 0.01, 0.1).Observe(0.005)
+	r.GetOrCreateHistogram(`stage_seconds{stage="b"}`, 0.01, 0.1).Observe(0.05)
+	r.GetOrCreateHistogram("idle_seconds") // never observed
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "# TYPE stage_seconds_p95 gauge"); got != 1 {
+		t.Errorf("p95 TYPE header written %d times, want 1:\n%s", got, out)
+	}
+	for _, want := range []string{
+		`stage_seconds_p95{stage="a"} `,
+		`stage_seconds_p95{stage="b"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "idle_seconds_p50") {
+		t.Errorf("never-observed histogram got quantile gauges:\n%s", out)
 	}
 }
 

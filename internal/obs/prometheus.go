@@ -96,10 +96,18 @@ func WritePrometheus(w io.Writer) error { return defaultRegistry.WritePrometheus
 // text exposition format (version 0.0.4): counters and gauges as single
 // samples, histograms as cumulative le-buckets plus _sum and _count.
 // Series sharing a base name are grouped under one # TYPE header by the
-// sorted iteration order.
+// sorted iteration order. Each observed histogram additionally exports
+// interpolated-quantile gauge families (<base>_p50, _p95, _p99) so
+// dashboards can plot tail latency without histogram_quantile();
+// never-observed series are skipped there.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
 	lastTyped := ""
+	type histSeries struct {
+		base, labels string
+		h            *Histogram
+	}
+	var hists []histSeries
 	r.Each(func(name string, metric any) {
 		base, labels, err := parseName(name)
 		if err != nil {
@@ -132,8 +140,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %d\n", seriesName(base+"_bucket", labels, `le="+Inf"`), cumulative[len(cumulative)-1])
 			fmt.Fprintf(&b, "%s %s\n", seriesName(base+"_sum", labels, ""), formatFloat(sum))
 			fmt.Fprintf(&b, "%s %d\n", seriesName(base+"_count", labels, ""), count)
+			if count > 0 {
+				hists = append(hists, histSeries{base, labels, m})
+			}
 		}
 	})
+	// Interpolated quantiles as derived gauge families (<base>_p50/…),
+	// after the real metrics so histogram families stay contiguous. Each
+	// family groups every labelled series of one base under one TYPE
+	// header; Each iterates in name order, so bases are contiguous.
+	quantiles := []struct {
+		suffix string
+		q      float64
+	}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}}
+	for i := 0; i < len(hists); {
+		j := i
+		for j < len(hists) && hists[j].base == hists[i].base {
+			j++
+		}
+		for _, qt := range quantiles {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", hists[i].base+qt.suffix)
+			for _, hs := range hists[i:j] {
+				fmt.Fprintf(&b, "%s %s\n",
+					seriesName(hs.base+qt.suffix, hs.labels, ""), formatFloat(hs.h.Quantile(qt.q)))
+			}
+		}
+		i = j
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }

@@ -5,6 +5,7 @@ import (
 
 	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/flightrec"
 	"stabledispatch/internal/pref"
 )
 
@@ -113,6 +114,12 @@ func (s *Simulator) certifyFrame(rec *dtrace.Recorder, f *Frame, applied []fleet
 			"frame contains shared or insertion assignments; certificate evaluates them under the single-ride (§IV-A) interest model")
 	}
 	rec.PutCertificate(c)
+	if c.ViolationsTotal > 0 {
+		s.kpi.violations += int64(c.ViolationsTotal)
+		flightrec.TriggerActive(int64(f.Number), flightrec.ReasonStability,
+			fmt.Sprintf("frame %d certificate found %d blocking pair(s) over %d requests × %d idle taxis",
+				f.Number, c.ViolationsTotal, c.Requests, c.Taxis))
+	}
 }
 
 // Counts is a cheap occupancy snapshot for health surfaces.

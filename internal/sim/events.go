@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"stabledispatch/internal/dtrace"
+	"stabledispatch/internal/flightrec"
 	"stabledispatch/internal/geo"
 )
 
@@ -114,5 +115,8 @@ func (s *Simulator) emit(e Event) {
 	}
 	if rec := dtrace.Active(); rec != nil {
 		s.traceEvent(rec, e)
+	}
+	if fr := flightrec.Active(); fr != nil {
+		fr.RecordEvent(int64(e.Frame), e)
 	}
 }

@@ -82,6 +82,7 @@ type kpiState struct {
 	taxiDissSum float64
 	shared      int64
 	expired     int64
+	violations  int64 // blocking-pair violations from the dtrace certificates
 
 	memSamples [1]metrics.Sample
 }
@@ -122,19 +123,21 @@ func (k *kpiState) assignDecision(o AssignmentOutcome) {
 // dissatisfaction observations stand: they were real decisions.
 func (k *kpiState) unassign() { k.served-- }
 
-// recordKPI appends the completed frame's sample to the ring.
-func (s *Simulator) recordKPI(rec *tseries.Recorder, frame int, wall time.Duration, allocs uint64) {
+// recordKPI appends the completed frame's sample to the ring and
+// returns it for the SLO/flight-recorder pipeline.
+func (s *Simulator) recordKPI(rec *tseries.Recorder, frame int, wall time.Duration, allocs uint64) tseries.Sample {
 	k := &s.kpi
 	sample := tseries.Sample{
-		Frame:          int64(frame),
-		DelayP95:       k.delays.quantile(0.95),
-		Served:         k.served,
-		Queued:         int64(len(s.pending)),
-		Expired:        k.expired,
-		SharedRides:    k.shared,
-		DegradedFrames: int64(obs.SumCounters("dispatch_degraded_frames_total")),
-		FrameNs:        wall.Nanoseconds(),
-		Allocs:         int64(allocs),
+		Frame:               int64(frame),
+		DelayP95:            k.delays.quantile(0.95),
+		Served:              k.served,
+		Queued:              int64(len(s.pending)),
+		Expired:             k.expired,
+		SharedRides:         k.shared,
+		DegradedFrames:      int64(obs.SumCounters("dispatch_degraded_frames_total")),
+		StabilityViolations: k.violations,
+		FrameNs:             wall.Nanoseconds(),
+		Allocs:              int64(allocs),
 	}
 	if k.assignedObs > 0 {
 		sample.DelayMean = k.delaySum / float64(k.assignedObs)
@@ -149,6 +152,7 @@ func (s *Simulator) recordKPI(rec *tseries.Recorder, frame int, wall time.Durati
 		sample.CacheHitRate = float64(hits) / float64(lookups)
 	}
 	rec.Record(sample)
+	return sample
 }
 
 // KPIRecorder returns the configured per-frame KPI recorder, or nil when

@@ -23,6 +23,7 @@ import (
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/obs"
 	"stabledispatch/internal/pref"
+	"stabledispatch/internal/slo"
 	"stabledispatch/internal/tseries"
 )
 
@@ -178,6 +179,11 @@ type Config struct {
 	// internal/tseries. Nil disables per-frame recording entirely (the
 	// frame loop then pays nothing for it).
 	KPI *tseries.Recorder
+	// SLO, when non-nil, evaluates each frame's KPI sample against the
+	// engine's objectives (breach transitions fire the flight
+	// recorder). Requires KPI: without a recorder there is no sample to
+	// evaluate, so a nil KPI leaves the engine untouched.
+	SLO *slo.Engine
 	// Workers bounds the per-frame cost-plane worker pool; ≤ 0 means
 	// runtime.GOMAXPROCS(0). Purely a throughput knob: simulation
 	// output is bit-identical for every value.
@@ -426,7 +432,8 @@ func (s *Simulator) Step() error {
 	if err := s.step(); err != nil {
 		return err
 	}
-	s.recordKPI(rec, frame, time.Since(start), s.kpi.readAllocs()-allocs0)
+	sample := s.recordKPI(rec, frame, time.Since(start), s.kpi.readAllocs()-allocs0)
+	s.watchFrame(sample)
 	return nil
 }
 

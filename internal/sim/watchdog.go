@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"stabledispatch/internal/dtrace"
+	"stabledispatch/internal/fault"
+	"stabledispatch/internal/flightrec"
+	"stabledispatch/internal/tseries"
+)
+
+// Watchdog glue: after every recorded frame, the finished sample is
+// pushed into the flight recorder's context ring (with the frame's
+// certificate summary and the fault-injection state) and handed to the
+// SLO engine for evaluation. Both are gated — an unconfigured flight
+// recorder costs one atomic load, a nil SLO engine one pointer check —
+// and neither runs at all when KPI recording is off, since there is no
+// sample to evaluate.
+
+// watchFrame feeds one completed frame's sample to the flight recorder
+// and the SLO engine. Ring push precedes evaluation so a breach bundle
+// contains the frame that tripped it.
+func (s *Simulator) watchFrame(sample tseries.Sample) {
+	if fr := flightrec.Active(); fr != nil {
+		fr.ObserveFrame(s.frameContext(sample))
+	}
+	if s.cfg.SLO != nil {
+		s.cfg.SLO.Observe(sample)
+	}
+}
+
+// frameContext assembles the flight recorder's per-frame rich context.
+func (s *Simulator) frameContext(sample tseries.Sample) flightrec.FrameContext {
+	fc := flightrec.FrameContext{Frame: sample.Frame, KPI: sample}
+	if rec := dtrace.Active(); rec != nil {
+		if c, ok := rec.Certificate(int(sample.Frame)); ok {
+			fc.Cert = &flightrec.CertSummary{
+				Stable:     c.Stable,
+				Violations: c.ViolationsTotal,
+				Matched:    c.Matched,
+				Requests:   c.Requests,
+				Taxis:      c.Taxis,
+			}
+		}
+	}
+	if s.cfg.Faults != nil {
+		fi := &flightrec.FaultInfo{}
+		if cfgd, ok := s.cfg.Faults.(interface{ Config() fault.Config }); ok {
+			c := cfgd.Config()
+			fi.Seed = c.Seed
+			fi.BreakdownRate = c.BreakdownRate
+			fi.DriverCancelRate = c.DriverCancelRate
+			fi.PassengerCancelRate = c.PassengerCancelRate
+		}
+		for id := range s.activeOutage {
+			if s.offline(id) {
+				fi.ActiveOutages++
+			}
+		}
+		fc.Fault = fi
+	}
+	return fc
+}

@@ -61,6 +61,10 @@ type Sample struct {
 	// DegradedFrames counts frames the Resilient wrapper degraded to its
 	// fallback dispatcher.
 	DegradedFrames int64 `json:"degradedFrames"`
+	// StabilityViolations counts blocking-pair violations found by the
+	// per-frame stability certificates so far (0 when decision tracing
+	// is off: the certificate scan only runs under dtrace).
+	StabilityViolations int64 `json:"stabilityViolations"`
 	// FrameNs is this frame's wall-clock cost in nanoseconds.
 	FrameNs int64 `json:"frameNs"`
 	// Allocs is the number of heap objects allocated during the frame.
@@ -78,7 +82,7 @@ const sampleBytes = int(unsafe.Sizeof(Sample{}))
 var SeriesNames = []string{
 	"delay_mean", "delay_p95", "pass_diss_mean", "taxi_diss_mean",
 	"served", "queued", "expired", "shared_rides", "degraded_frames",
-	"frame_ns", "allocs", "cache_hit_rate",
+	"stability_violations", "frame_ns", "allocs", "cache_hit_rate",
 }
 
 // Value extracts one named series value from the sample; ok is false for
@@ -103,6 +107,8 @@ func (s Sample) Value(name string) (v float64, ok bool) {
 		return float64(s.SharedRides), true
 	case "degraded_frames":
 		return float64(s.DegradedFrames), true
+	case "stability_violations":
+		return float64(s.StabilityViolations), true
 	case "frame_ns":
 		return float64(s.FrameNs), true
 	case "allocs":

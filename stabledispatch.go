@@ -42,11 +42,13 @@ import (
 	"stabledispatch/internal/exp"
 	"stabledispatch/internal/fault"
 	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/flightrec"
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/pref"
 	"stabledispatch/internal/roadnet"
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
+	"stabledispatch/internal/slo"
 	"stabledispatch/internal/stable"
 	"stabledispatch/internal/trace"
 	"stabledispatch/internal/tseries"
@@ -418,4 +420,61 @@ type UnknownFigureError struct {
 // Error implements the error interface.
 func (e *UnknownFigureError) Error() string {
 	return "stabledispatch: unknown figure " + e.ID
+}
+
+// SLO engine types. An SLOEngine attached to SimConfig.SLO evaluates
+// declarative objectives ("max(delay_p95) < 3", "frac(expired, served)
+// < 1%") against every recorded KPI sample with multi-window burn-rate
+// alerting and a hysteresis state machine; breach transitions fire the
+// flight recorder.
+type (
+	// SLODef is one declarative objective.
+	SLODef = slo.Def
+	// SLOEngine evaluates a set of objectives frame by frame.
+	SLOEngine = slo.Engine
+	// SLOStatus is one objective's externally visible alert state.
+	SLOStatus = slo.Status
+	// SLOState is an objective's hysteresis state (ok, warning, breach,
+	// recovered).
+	SLOState = slo.State
+)
+
+// NewSLOEngine validates defs and builds an engine.
+func NewSLOEngine(defs []SLODef) (*SLOEngine, error) { return slo.New(defs) }
+
+// ParseSLOFile loads objective definitions from an SLO file (one
+// "name: agg(series) op threshold" line per objective).
+func ParseSLOFile(path string) ([]SLODef, error) { return slo.ParseFile(path) }
+
+// Flight-recorder types: a bounded black-box ring of per-frame context
+// that freezes into a self-contained diagnostic bundle (manifest, KPI
+// CSV, event/frame JSONL) on SLO breach, dispatch degrade, stability
+// violation, panic, or manual trigger.
+type (
+	// FlightRecorder is the bounded black box.
+	FlightRecorder = flightrec.Recorder
+	// FlightRecorderConfig parameterises the ring, cooldown, and
+	// retention bounds.
+	FlightRecorderConfig = flightrec.Config
+	// BundleManifest is the machine-readable index of one bundle.
+	BundleManifest = flightrec.Manifest
+)
+
+// ConfigureFlightRecorder installs the process-wide flight recorder the
+// simulator, the resilient dispatcher, and the SLO engine trigger into.
+// Disable with DisableFlightRecorder.
+func ConfigureFlightRecorder(cfg FlightRecorderConfig) (*FlightRecorder, error) {
+	return flightrec.Configure(cfg)
+}
+
+// DisableFlightRecorder uninstalls the process-wide flight recorder.
+func DisableFlightRecorder() { flightrec.Disable() }
+
+// ActiveFlightRecorder returns the installed flight recorder, or nil
+// while flight recording is disabled.
+func ActiveFlightRecorder() *FlightRecorder { return flightrec.Active() }
+
+// ReadBundleManifest loads and schema-checks one bundle's manifest.
+func ReadBundleManifest(bundleDir string) (BundleManifest, error) {
+	return flightrec.ReadManifest(bundleDir)
 }
