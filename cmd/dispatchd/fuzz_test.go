@@ -16,7 +16,8 @@ import (
 // FuzzRequestDecode drives arbitrary bytes through the POST
 // /v1/requests decoder behind the production middleware chain. The
 // handler must never panic and must answer only 201 (accepted), 400
-// (malformed), or 413 (over the body cap).
+// (malformed), 413 (over the body cap), or 429 (admission queue full —
+// nothing drains it during the fuzz run).
 func FuzzRequestDecode(f *testing.F) {
 	f.Add([]byte(`{"pickup":{"x":1,"y":2},"dropoff":{"x":3,"y":4},"seats":1}`))
 	f.Add([]byte(`{"pickup":{"x":1e308,"y":-1e308},"dropoff":{},"seats":6}`))
@@ -49,7 +50,7 @@ func FuzzRequestDecode(f *testing.F) {
 		rec := httptest.NewRecorder()
 		handler.ServeHTTP(rec, req) // a panic fails the fuzz run
 		switch rec.Code {
-		case http.StatusCreated, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		case http.StatusCreated, http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusTooManyRequests:
 		default:
 			t.Fatalf("status %d for body %q", rec.Code, body)
 		}

@@ -5,6 +5,13 @@
 //
 //	dispatchd -addr :8080 -city boston -taxis 200 -algo nstd-p
 //
+// Ingestion is overload-safe: POST /v1/requests passes admission control
+// (a bounded intake queue, -intake-queue, plus an in-flight cap,
+// -max-inflight) and sheds 429 with Retry-After when either bound is
+// hit. Admitted requests are injected at the next frame boundary in
+// admission order. SIGTERM/SIGINT drains gracefully: new requests shed
+// 503 while the admitted tail is flushed through a final frame.
+//
 // API:
 //
 //	POST   /v1/requests       {"pickup":{"x":1,"y":2},"dropoff":{"x":3,"y":4},"seats":1}
@@ -41,8 +48,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
+	"stabledispatch/internal/admission"
 	"stabledispatch/internal/carpool"
 	"stabledispatch/internal/dispatch"
 	"stabledispatch/internal/dtrace"
@@ -65,22 +75,24 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dispatchd", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		cityName = fs.String("city", "boston", "city model: boston or newyork")
-		taxis    = fs.Int("taxis", 200, "fleet size")
-		algo     = fs.String("algo", "nstd-p", "dispatch algorithm")
-		seed     = fs.Int64("seed", 42, "random seed for taxi placement")
-		theta    = fs.Float64("theta", 5, "sharing detour bound in km")
-		auto     = fs.Duration("auto", 0, "advance one frame automatically at this interval (0 = manual /v1/tick only)")
-		debug    = fs.String("debug-addr", "", "optional extra listener for net/http/pprof (e.g. localhost:6060; empty = disabled)")
-		quiet    = fs.Bool("quiet", false, "suppress per-request access logging")
-		frameDDL = fs.Duration("frame-deadline", 0, "per-frame dispatch compute deadline; overruns and panics degrade to greedy (0 = unbounded)")
-		dtraceOn = fs.Bool("dtrace", true, "record per-request decision traces and frame stability certificates")
-		traceCap = fs.Int("trace-capacity", dtrace.DefaultCapacity, "max request traces retained in the decision-trace ring")
+		addr      = fs.String("addr", ":8080", "listen address")
+		cityName  = fs.String("city", "boston", "city model: boston or newyork")
+		taxis     = fs.Int("taxis", 200, "fleet size")
+		algo      = fs.String("algo", "nstd-p", "dispatch algorithm")
+		seed      = fs.Int64("seed", 42, "random seed for taxi placement")
+		theta     = fs.Float64("theta", 5, "sharing detour bound in km")
+		auto      = fs.Duration("auto", 0, "advance one frame automatically at this interval (0 = manual /v1/tick only)")
+		debug     = fs.String("debug-addr", "", "optional extra listener for net/http/pprof (e.g. localhost:6060; empty = disabled)")
+		quiet     = fs.Bool("quiet", false, "suppress per-request access logging")
+		frameDDL  = fs.Duration("frame-deadline", 0, "per-frame dispatch compute deadline; overruns and panics degrade to greedy (0 = unbounded)")
+		dtraceOn  = fs.Bool("dtrace", true, "record per-request decision traces and frame stability certificates")
+		traceCap  = fs.Int("trace-capacity", dtrace.DefaultCapacity, "max request traces retained in the decision-trace ring")
 		kpiCap    = fs.Int("kpi-capacity", tseries.DefaultCapacity, "per-frame KPI samples retained for /v1/timeseries (0 disables recording)")
 		workers   = fs.Int("workers", 0, "cost-plane worker pool size; 0 = GOMAXPROCS (results are identical for any value)")
 		sloFile   = fs.String("slo-file", "", "SLO definitions file; objectives are evaluated every frame and served at /v1/slo (requires KPI recording)")
 		bundleDir = fs.String("bundle-dir", "", "flight-recorder bundle directory; enables diagnostic bundles on SLO breach, degrade, panic, certificate violation, or POST /v1/debug/bundle")
+		intakeCap = fs.Int("intake-queue", admission.DefaultQueueCap, "admission queue capacity: requests accepted but not yet injected into a frame; beyond it POST /v1/requests sheds 429")
+		maxInfl   = fs.Int("max-inflight", 100000, "max admitted requests that have not reached a terminal state; beyond it POST /v1/requests sheds 429 (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,10 +146,18 @@ func run(args []string) error {
 			return err
 		}
 	}
+	// The admission controller fronts POST /v1/requests; its Retry-After
+	// hint is the auto-tick interval when one is set (the queue drains
+	// once per frame), else the 1s default.
+	adm := admission.New(admission.Config{
+		QueueCap:    *intakeCap,
+		MaxInflight: *maxInfl,
+		RetryAfter:  *auto,
+	})
 	s, err := sim.New(sim.Config{
 		Params:     pref.DefaultParams(),
 		Dispatcher: d,
-		Events:     events,
+		Events:     sim.MultiSink(events, admissionSink(adm)),
 		KPI:        kpi,
 		SLO:        sloEng,
 		Workers:    *workers,
@@ -154,7 +174,7 @@ func run(args []string) error {
 
 	// Middleware order: metrics/logging outermost (a recovered panic is
 	// still logged with its 500), then panic recovery, then the body cap.
-	server := newServer(s).withEvents(events).withSLO(sloEng)
+	server := newServer(s).withEvents(events).withSLO(sloEng).withAdmission(adm)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           withObs(accessLogger, withRecovery(logger, withBodyLimit(server.handler()))),
@@ -190,11 +210,18 @@ func run(args []string) error {
 	}
 
 	// Optional wall-clock frame advancement, with a managed lifetime:
-	// the ticker goroutine stops (and is waited for) on shutdown.
+	// stopAuto stops the ticker goroutine and waits for it, and is safe
+	// to call more than once (the drain path stops it early, the defer
+	// covers error exits).
 	var (
 		stopTicker = make(chan struct{})
 		tickerDone = make(chan struct{})
+		tickerOnce sync.Once
 	)
+	stopAuto := func() {
+		tickerOnce.Do(func() { close(stopTicker) })
+		<-tickerDone
+	}
 	if *auto > 0 {
 		go func() {
 			defer close(tickerDone)
@@ -214,10 +241,7 @@ func run(args []string) error {
 	} else {
 		close(tickerDone)
 	}
-	defer func() {
-		close(stopTicker)
-		<-tickerDone
-	}()
+	defer stopAuto()
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -226,7 +250,7 @@ func run(args []string) error {
 		errCh <- srv.ListenAndServe()
 	}()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errCh:
@@ -235,9 +259,21 @@ func run(args []string) error {
 		}
 		return err
 	case <-ctx.Done():
+		// Graceful drain: shed new work first (503 + Retry-After), let
+		// in-flight handlers finish, stop the ticker, then flush any
+		// already-admitted requests through one final dispatch frame so
+		// every 201 the daemon issued reaches the dispatcher.
+		logger.Info("shutdown signal: draining", "intakeQueue", adm.QueueDepth(), "inflight", adm.Inflight())
+		adm.BeginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return srv.Shutdown(shutdownCtx)
+		shutdownErr := srv.Shutdown(shutdownCtx)
+		stopAuto()
+		if err := server.drainFinal(); err != nil {
+			logger.Warn("final drain frame failed", "err", err)
+		}
+		logger.Info("drained", "intakeQueue", adm.QueueDepth(), "accepted", adm.Accepted())
+		return shutdownErr
 	}
 }
 

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"stabledispatch/internal/admission"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/obs"
@@ -21,17 +24,27 @@ import (
 // view of the dispatcher. Passengers POST requests, an operator (or a
 // timer) POSTs ticks to advance dispatch frames, and anyone can read the
 // fleet and the running metrics.
+//
+// Ingestion is decoupled from the frame loop: POST /v1/requests runs
+// admission control and enqueues under the controller's own mutex, never
+// touching s.mu, so accepting a ride stays fast while a paper-scale
+// frame is solving. Admitted requests are batch-injected at the next
+// frame boundary (stepLocked), in admission order.
 type server struct {
 	mu     sync.Mutex
 	sim    *sim.Simulator
 	events *eventBuffer
 	slo    *slo.Engine
-	nextID int
-	start  time.Time
+	adm    *admission.Controller
+	// frameNow mirrors the simulator's frame counter so handlers that
+	// only need an advisory frame number (the 201 response, healthz's
+	// draining view) can read it without s.mu.
+	frameNow atomic.Int64
+	start    time.Time
 }
 
 func newServer(s *sim.Simulator) *server {
-	return &server{sim: s, start: time.Now()}
+	return &server{sim: s, adm: admission.New(admission.Config{}), start: time.Now()}
 }
 
 // withEvents attaches the event buffer served at /v1/events.
@@ -40,11 +53,69 @@ func (s *server) withEvents(b *eventBuffer) *server {
 	return s
 }
 
+// withAdmission replaces the default admission controller. The caller
+// is responsible for wiring admissionSink into the simulator's event
+// stream so the in-flight ledger settles.
+func (s *server) withAdmission(c *admission.Controller) *server {
+	s.adm = c
+	return s
+}
+
+// admissionSink forwards lifecycle transitions into the admission
+// controller's in-flight ledger and enqueue→assignment histogram.
+// Breakdown events carry RequestID -1 and fall through untouched.
+func admissionSink(c *admission.Controller) sim.EventSink {
+	return sim.EventSinkFunc(func(e sim.Event) {
+		switch e.Kind {
+		case sim.EventAssign:
+			c.NoteAssigned(e.RequestID)
+		case sim.EventDropoff, sim.EventAbandon, sim.EventCancel:
+			c.NoteTerminal(e.RequestID)
+		case sim.EventRequeue, sim.EventRescue:
+			c.NoteRequeued(e.RequestID)
+		}
+	})
+}
+
 // step advances one frame under the server lock; the auto-ticker uses it.
 func (s *server) step() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sim.Step()
+	return s.stepLocked()
+}
+
+// stepLocked injects every request admitted since the last boundary —
+// in admission order, stamped with the current frame — then advances
+// one frame. Callers hold s.mu. Injecting the whole batch before Step
+// makes the batch indistinguishable from synchronous injection: the
+// requests join this frame's pending queue in exactly the order they
+// were admitted, so dispatch output per frame is unchanged.
+func (s *server) stepLocked() error {
+	for _, r := range s.adm.TakeBatch() {
+		r.Frame = s.sim.Frame()
+		if err := s.sim.Inject(r); err != nil {
+			// Unreachable while the controller is the sole ID source;
+			// release the slot so a bug cannot leak in-flight capacity.
+			s.adm.NoteInjectFailure(r.ID)
+		}
+	}
+	if err := s.sim.Step(); err != nil {
+		return err
+	}
+	s.frameNow.Store(int64(s.sim.Frame()))
+	return nil
+}
+
+// drainFinal flushes any still-queued admitted requests through one
+// final dispatch frame, so a graceful shutdown never drops a request it
+// already answered 201 for.
+func (s *server) drainFinal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.adm.QueueDepth() == 0 {
+		return nil
+	}
+	return s.stepLocked()
 }
 
 func (s *server) handler() http.Handler {
@@ -79,6 +150,15 @@ type healthOut struct {
 	Taxis         int     `json:"taxis"`
 	TaxisIdle     int     `json:"taxisIdle"`
 	TaxisOffline  int     `json:"taxisOffline"`
+	// IntakeQueue is the admission queue depth: requests accepted but
+	// not yet injected into a frame.
+	IntakeQueue int `json:"intakeQueue"`
+	// Inflight counts admitted requests that have not reached a
+	// terminal lifecycle state (queued + pending + assigned + riding).
+	Inflight int `json:"inflightRequests"`
+	// Draining reports a shutdown in progress: new requests shed 503
+	// while the admitted tail flushes.
+	Draining bool `json:"draining,omitempty"`
 	// SLO is the condensed alert state (absent when no SLO file is
 	// loaded). Status stays "ok" for liveness — an SLO breach is an
 	// alert, not a dead process.
@@ -89,8 +169,12 @@ func (s *server) getHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	c := s.sim.Counts()
 	s.mu.Unlock()
+	status := "ok"
+	if s.adm.Draining() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, healthOut{
-		Status:        "ok",
+		Status:        status,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Frame:         c.Frame,
 		Pending:       c.Pending,
@@ -98,6 +182,9 @@ func (s *server) getHealth(w http.ResponseWriter, _ *http.Request) {
 		Taxis:         c.Taxis,
 		TaxisIdle:     c.TaxisIdle,
 		TaxisOffline:  c.TaxisOffline,
+		IntakeQueue:   s.adm.QueueDepth(),
+		Inflight:      s.adm.Inflight(),
+		Draining:      s.adm.Draining(),
 		SLO:           s.sloHealthOut(),
 	})
 }
@@ -115,7 +202,9 @@ type requestIn struct {
 }
 
 type requestOut struct {
-	ID    int `json:"id"`
+	ID int `json:"id"`
+	// Frame is the earliest dispatch frame the request can join: it is
+	// queued now and injected at the next frame boundary.
 	Frame int `json:"frame"`
 }
 
@@ -143,27 +232,51 @@ func (s *server) postRequest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("seats %d out of range", in.Seats))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.nextID
-	s.nextID++
-	req := fleet.Request{
-		ID:      id,
+	// Admission control instead of the simulator lock: the controller
+	// allocates the ID and queues the request for the next frame
+	// boundary, or sheds. The handler never waits on a solving frame.
+	id, err := s.adm.Admit(fleet.Request{
 		Pickup:  geo.Point{X: in.Pickup.X, Y: in.Pickup.Y},
 		Dropoff: geo.Point{X: in.Dropoff.X, Y: in.Dropoff.Y},
-		Frame:   s.sim.Frame(),
 		Seats:   in.Seats,
-	}
-	if err := s.sim.Inject(req); err != nil {
-		writeError(w, http.StatusConflict, err)
+	})
+	if err != nil {
+		var shed *admission.ShedError
+		if errors.As(err, &shed) {
+			w.Header().Set("Retry-After", retrySeconds(shed.RetryAfter))
+			code := http.StatusTooManyRequests
+			if shed.Reason == admission.ReasonDraining {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, requestOut{ID: id, Frame: req.Frame})
+	writeJSON(w, http.StatusCreated, requestOut{ID: id, Frame: int(s.frameNow.Load())})
+}
+
+// retrySeconds renders a Retry-After hint in the header's non-negative
+// integer-seconds form, rounding up so a sub-second hint never becomes
+// "0" (which clients read as "immediately").
+func retrySeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 type tickIn struct {
 	Frames int `json:"frames"`
 }
+
+// tickChunkFrames bounds how long one /v1/tick batch holds the server
+// lock: a 10000-frame batch used to pin s.mu for the whole run, starving
+// /healthz and every read endpoint. Stepping in chunks and releasing the
+// lock between them keeps the API responsive during long batches.
+const tickChunkFrames = 64
 
 func (s *server) postTick(w http.ResponseWriter, r *http.Request) {
 	var in tickIn
@@ -180,15 +293,35 @@ func (s *server) postTick(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("refusing to advance %d frames at once", in.Frames))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := 0; i < in.Frames; i++ {
-		if err := s.sim.Step(); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
+	frame, err := s.tick(in.Frames)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"frame": s.sim.Frame()})
+	writeJSON(w, http.StatusOK, map[string]int{"frame": frame})
+}
+
+// tick advances the simulation by n frames in bounded chunks, releasing
+// s.mu between chunks so concurrent handlers are never starved for the
+// duration of a large batch.
+func (s *server) tick(n int) (frame int, err error) {
+	for n > 0 {
+		chunk := n
+		if chunk > tickChunkFrames {
+			chunk = tickChunkFrames
+		}
+		n -= chunk
+		s.mu.Lock()
+		for i := 0; i < chunk; i++ {
+			if err := s.stepLocked(); err != nil {
+				s.mu.Unlock()
+				return 0, err
+			}
+		}
+		frame = s.sim.Frame()
+		s.mu.Unlock()
+	}
+	return frame, nil
 }
 
 type taxiOut struct {
@@ -449,7 +582,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
+// writeError emits the uniform JSON error envelope. Backpressure-class
+// statuses (413, 429, 503) always carry a Retry-After so clients can
+// pace themselves; handlers that computed a sharper hint set the header
+// before calling and the default does not overwrite it.
 func writeError(w http.ResponseWriter, code int, err error) {
+	switch code {
+	case http.StatusRequestEntityTooLarge, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 

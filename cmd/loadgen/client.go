@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"stabledispatch/internal/fleet"
+)
+
+// client is the loadgen's dispatchd HTTP client: one POST per request
+// with bounded retries on shed responses, honouring Retry-After.
+type client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+func newClient(base string, timeout time.Duration, retries int, backoff time.Duration) *client {
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	return &client{
+		base:    base,
+		hc:      &http.Client{Timeout: timeout},
+		retries: retries,
+		backoff: backoff,
+	}
+}
+
+// sendResult is the outcome of one request's send attempt chain.
+type sendResult struct {
+	accepted bool
+	shed     bool // final answer was 429 or 503
+	draining bool // the final shed was a 503 (server draining)
+	id       int
+	sentAt   time.Time
+	retries  int
+}
+
+type wireRequest struct {
+	Pickup  wirePoint `json:"pickup"`
+	Dropoff wirePoint `json:"dropoff"`
+	Seats   int       `json:"seats"`
+}
+
+type wirePoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type wireAccepted struct {
+	ID int `json:"id"`
+}
+
+// send POSTs one request, retrying shed responses (429/503) up to the
+// configured budget with exponential backoff plus jitter, never below
+// the server's Retry-After hint. Transport errors are retried on the
+// same budget; any other HTTP status is a hard failure.
+func (c *client) send(r fleet.Request, jit *jitter) sendResult {
+	body, err := json.Marshal(wireRequest{
+		Pickup:  wirePoint{X: r.Pickup.X, Y: r.Pickup.Y},
+		Dropoff: wirePoint{X: r.Dropoff.X, Y: r.Dropoff.Y},
+		Seats:   r.Seats,
+	})
+	if err != nil {
+		return sendResult{}
+	}
+	res := sendResult{}
+	for attempt := 0; ; attempt++ {
+		res.sentAt = time.Now()
+		status, retryAfter, id, err := c.post(body)
+		switch {
+		case err == nil && status == http.StatusCreated:
+			res.accepted = true
+			res.id = id
+			return res
+		case status == http.StatusTooManyRequests, status == http.StatusServiceUnavailable:
+			res.shed = true
+			res.draining = status == http.StatusServiceUnavailable
+		case err == nil:
+			// Unexpected status: not retryable.
+			return res
+		}
+		if attempt >= c.retries {
+			return res
+		}
+		res.retries++
+		wait := c.backoff << attempt
+		wait += jit.upTo(wait / 2)
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		time.Sleep(wait)
+	}
+}
+
+// post runs one POST /v1/requests exchange, returning the status code,
+// the parsed Retry-After hint (0 when absent), and the accepted ID.
+func (c *client) post(body []byte) (status int, retryAfter time.Duration, id int, err error) {
+	resp, err := c.hc.Post(c.base+"/v1/requests", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+	if resp.StatusCode == http.StatusCreated {
+		var acc wireAccepted
+		if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+			return resp.StatusCode, retryAfter, 0, fmt.Errorf("decode 201 body: %w", err)
+		}
+		return resp.StatusCode, retryAfter, acc.ID, nil
+	}
+	return resp.StatusCode, retryAfter, 0, nil
+}
+
+// status reads one request's lifecycle status word ("pending",
+// "assigned", "riding", "completed", "cancelled", "abandoned").
+func (c *client) status(id int) (string, error) {
+	resp, err := c.hc.Get(fmt.Sprintf("%s/v1/requests/%d", c.base, id))
+	if err != nil {
+		return "", err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d for request %d", resp.StatusCode, id)
+	}
+	var out struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.Status, nil
+}
+
+// parseRetryAfter reads the integer-seconds Retry-After form (the only
+// form dispatchd emits; float seconds are tolerated for other servers).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil && secs >= 0 {
+		return time.Duration(secs * float64(time.Second))
+	}
+	return 0
+}
+
+// jitter is a per-worker random source for backoff spreading; each
+// worker owns one, so no locking.
+type jitter struct{ rng *rand.Rand }
+
+func newJitter(seed int64) *jitter {
+	return &jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// upTo returns a uniform duration in [0, max).
+func (j *jitter) upTo(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(j.rng.Int63n(int64(max)))
+}

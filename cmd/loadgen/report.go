@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// report is the end-of-run summary, written as JSON (schema
+// "loadgen/v1") and gated for CI.
+type report struct {
+	Schema      string  `json:"schema"`
+	City        string  `json:"city"`
+	Frames      int     `json:"frames"`
+	Multiplier  float64 `json:"multiplier"`
+	DailyVolume int     `json:"dailyVolume"`
+
+	DurationSeconds float64 `json:"durationSeconds"`
+	Sent            int     `json:"sent"`
+	Accepted        int     `json:"accepted"`
+	// Shed counts requests whose final answer was 429 after retries.
+	Shed int `json:"shed"`
+	// DrainShed counts final 503s: the server was shutting down.
+	DrainShed int `json:"drainShed"`
+	Errors    int `json:"errors"`
+	Retries   int `json:"retries"`
+
+	// Assigned counts accepted requests observed reaching a taxi;
+	// Lost were cancelled or abandoned; TimedOut were still pending
+	// when the drain window closed.
+	Assigned int `json:"assigned"`
+	Lost     int `json:"lost"`
+	TimedOut int `json:"timedOut"`
+
+	SustainedQPS float64 `json:"sustainedQps"`
+	// ShedRate is shed/(shed+accepted) — the admission front door's
+	// rejection fraction, the quantity the -max-shed-rate gate bounds.
+	ShedRate float64     `json:"shedRate"`
+	Latency  *latencyOut `json:"requestToAssignment,omitempty"`
+}
+
+// latencyOut is the client-observed enqueue→assignment latency summary.
+// Resolution is bounded below by the -poll sweep interval.
+type latencyOut struct {
+	P50Seconds float64 `json:"p50Seconds"`
+	P95Seconds float64 `json:"p95Seconds"`
+	P99Seconds float64 `json:"p99Seconds"`
+}
+
+// write emits the report to path, or to stdout when path is empty.
+func (r *report) write(path string, stdout io.Writer) error {
+	out := stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// gate applies the CI thresholds, returning a descriptive error when
+// the run fails one.
+func (r *report) gate(maxShedRate float64, minAssigned int) error {
+	if r.ShedRate > maxShedRate {
+		return fmt.Errorf("gate failed: shed rate %.3f exceeds %.3f (accepted=%d shed=%d)",
+			r.ShedRate, maxShedRate, r.Accepted, r.Shed)
+	}
+	if r.Assigned < minAssigned {
+		return fmt.Errorf("gate failed: %d requests assigned, need at least %d", r.Assigned, minAssigned)
+	}
+	return nil
+}

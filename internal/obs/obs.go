@@ -151,6 +151,26 @@ func (r *Registry) CounterValue(name string) uint64 {
 	return c.Value()
 }
 
+// GaugeValue returns the current value of one gauge of the default
+// registry, or 0 when the name is unregistered (or not a gauge).
+func GaugeValue(name string) float64 { return defaultRegistry.GaugeValue(name) }
+
+// GaugeValue returns the current value of the named gauge, or 0 when
+// the name is unregistered (or registered as another kind).
+func (r *Registry) GaugeValue(name string) float64 {
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	g, ok := m.(*Gauge)
+	if !ok {
+		return 0
+	}
+	return g.Value()
+}
+
 // SumCounters sums every counter of the default registry whose full
 // name starts with prefix — the read-side companion of labelled counter
 // families like dispatch_degraded_frames_total{reason=...}.

@@ -311,3 +311,18 @@ func TestSetEnabled(t *testing.T) {
 		t.Errorf("re-enabled counter = %d, want 1", c.Value())
 	}
 }
+
+func TestGaugeValueLookup(t *testing.T) {
+	r := NewRegistry()
+	r.GetOrCreateGauge("depth").Set(7.5)
+	if got := r.GaugeValue("depth"); got != 7.5 {
+		t.Errorf("GaugeValue = %v, want 7.5", got)
+	}
+	if got := r.GaugeValue("missing"); got != 0 {
+		t.Errorf("GaugeValue(missing) = %v, want 0", got)
+	}
+	r.GetOrCreateCounter("count").Inc()
+	if got := r.GaugeValue("count"); got != 0 {
+		t.Errorf("GaugeValue over a counter = %v, want 0", got)
+	}
+}

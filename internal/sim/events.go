@@ -60,6 +60,35 @@ func (f EventSinkFunc) Record(e Event) { f(e) }
 
 var _ EventSink = EventSinkFunc(nil)
 
+// MultiSink fans one event stream out to several sinks, calling them in
+// argument order. Nil sinks are skipped, so callers can compose optional
+// sinks without branching; with zero or one live sink the composition
+// collapses to nil or the sink itself.
+func MultiSink(sinks ...EventSink) EventSink {
+	live := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multiSink []EventSink
+
+// Record implements EventSink.
+func (m multiSink) Record(e Event) {
+	for _, s := range m {
+		s.Record(e)
+	}
+}
+
 // JSONLSink streams events as JSON lines. Errors are sticky: the first
 // write failure is kept and reported by Err, and later events are
 // dropped — a broken sink must not take the simulation down.

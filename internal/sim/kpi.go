@@ -138,6 +138,13 @@ func (s *Simulator) recordKPI(rec *tseries.Recorder, frame int, wall time.Durati
 		StabilityViolations: k.violations,
 		FrameNs:             wall.Nanoseconds(),
 		Allocs:              int64(allocs),
+		// Admission front-door series, read from the process-wide
+		// registry like the degraded-frame count: zero in batch runs,
+		// live when the daemon's internal/admission controller is in
+		// front of this simulator.
+		Accepted:       int64(obs.CounterValue("admission_accepted_total")),
+		Shed:           int64(obs.SumCounters("admission_shed_total")),
+		AdmissionQueue: int64(obs.GaugeValue("admission_queue_depth")),
 	}
 	if k.assignedObs > 0 {
 		sample.DelayMean = k.delaySum / float64(k.assignedObs)

@@ -72,6 +72,15 @@ type Sample struct {
 	// CacheHitRate is the cumulative Dijkstra-cache hit rate in [0,1]
 	// (zero when no road-network metric is in play).
 	CacheHitRate float64 `json:"cacheHitRate"`
+	// Accepted counts requests admitted through the serving front door
+	// so far (0 in batch runs: only the dispatch daemon admits).
+	Accepted int64 `json:"accepted"`
+	// Shed counts requests the admission controller rejected so far,
+	// summed over every shed reason.
+	Shed int64 `json:"shed"`
+	// AdmissionQueue is the intake-queue depth when the frame was
+	// recorded (admitted requests awaiting frame injection).
+	AdmissionQueue int64 `json:"admissionQueue"`
 }
 
 // sampleBytes is the in-memory width of one Sample.
@@ -83,6 +92,7 @@ var SeriesNames = []string{
 	"delay_mean", "delay_p95", "pass_diss_mean", "taxi_diss_mean",
 	"served", "queued", "expired", "shared_rides", "degraded_frames",
 	"stability_violations", "frame_ns", "allocs", "cache_hit_rate",
+	"accepted", "shed", "admission_queue",
 }
 
 // Value extracts one named series value from the sample; ok is false for
@@ -115,6 +125,12 @@ func (s Sample) Value(name string) (v float64, ok bool) {
 		return float64(s.Allocs), true
 	case "cache_hit_rate":
 		return s.CacheHitRate, true
+	case "accepted":
+		return float64(s.Accepted), true
+	case "shed":
+		return float64(s.Shed), true
+	case "admission_queue":
+		return float64(s.AdmissionQueue), true
 	}
 	return 0, false
 }

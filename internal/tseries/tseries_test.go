@@ -144,11 +144,13 @@ func TestValueAndSeriesNames(t *testing.T) {
 		Frame: 3, DelayMean: 1.5, DelayP95: 4, PassDissMean: 2.5, TaxiDissMean: -0.5,
 		Served: 10, Queued: 2, Expired: 1, SharedRides: 4, DegradedFrames: 1,
 		StabilityViolations: 2, FrameNs: 12345, Allocs: 99, CacheHitRate: 0.75,
+		Accepted: 50, Shed: 7, AdmissionQueue: 5,
 	}
 	want := map[string]float64{
 		"delay_mean": 1.5, "delay_p95": 4, "pass_diss_mean": 2.5, "taxi_diss_mean": -0.5,
 		"served": 10, "queued": 2, "expired": 1, "shared_rides": 4, "degraded_frames": 1,
 		"stability_violations": 2, "frame_ns": 12345, "allocs": 99, "cache_hit_rate": 0.75,
+		"accepted": 50, "shed": 7, "admission_queue": 5,
 	}
 	if len(SeriesNames) != len(want) {
 		t.Fatalf("SeriesNames has %d entries, want %d", len(SeriesNames), len(want))
