@@ -61,6 +61,7 @@ import (
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/slo"
+	"stabledispatch/internal/stream"
 	"stabledispatch/internal/trace"
 	"stabledispatch/internal/tseries"
 )
@@ -93,6 +94,8 @@ func run(args []string) error {
 		bundleDir = fs.String("bundle-dir", "", "flight-recorder bundle directory; enables diagnostic bundles on SLO breach, degrade, panic, certificate violation, or POST /v1/debug/bundle")
 		intakeCap = fs.Int("intake-queue", admission.DefaultQueueCap, "admission queue capacity: requests accepted but not yet injected into a frame; beyond it POST /v1/requests sheds 429")
 		maxInfl   = fs.Int("max-inflight", 100000, "max admitted requests that have not reached a terminal state; beyond it POST /v1/requests sheds 429 (0 = unlimited)")
+		streamBuf = fs.Int("stream-buffer", stream.DefaultRingSize, "per-connection /v1/stream ring capacity; a consumer slower than the feed drops its own oldest entries beyond it")
+		streamHB  = fs.Duration("stream-heartbeat", defaultStreamHeartbeat, "keepalive comment interval on idle /v1/stream connections")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -172,9 +175,17 @@ func run(args []string) error {
 		accessLogger = nil
 	}
 
+	// The live-telemetry hub: producers (sim, slo, admission, dispatch)
+	// publish through the process-wide handle, /v1/stream subscribes.
+	// While no connection is up every publish gate is one atomic load.
+	hub := stream.NewHub()
+	stream.SetActive(hub)
+	defer stream.SetActive(nil)
+
 	// Middleware order: metrics/logging outermost (a recovered panic is
 	// still logged with its 500), then panic recovery, then the body cap.
-	server := newServer(s).withEvents(events).withSLO(sloEng).withAdmission(adm)
+	server := newServer(s).withEvents(events).withSLO(sloEng).withAdmission(adm).
+		withStream(hub, *streamBuf, *streamHB)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           withObs(accessLogger, withRecovery(logger, withBodyLimit(server.handler()))),

@@ -67,6 +67,11 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.ResponseController reach the underlying connection's
+// Flush and per-write deadline controls through the wrapper; the SSE
+// stream handler depends on both.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // withObs wraps the API handler with request metrics
 // (http_requests_total{code=...}, http_request_seconds) and, when logger
 // is non-nil, one structured access-log line per request.

@@ -18,6 +18,7 @@ import (
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/slo"
 	"stabledispatch/internal/stats"
+	"stabledispatch/internal/stream"
 )
 
 // server wraps a live simulator behind a JSON HTTP API: the O2O platform
@@ -36,6 +37,12 @@ type server struct {
 	events *eventBuffer
 	slo    *slo.Engine
 	adm    *admission.Controller
+	// hub is the live-telemetry broadcast hub behind GET /v1/stream
+	// (nil = streaming disabled); streamRing and streamHeartbeat are the
+	// per-connection ring capacity and keepalive interval.
+	hub             *stream.Hub
+	streamRing      int
+	streamHeartbeat time.Duration
 	// frameNow mirrors the simulator's frame counter so handlers that
 	// only need an advisory frame number (the 201 response, healthz's
 	// draining view) can read it without s.mu.
@@ -128,6 +135,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/requests/{id}", s.deleteRequest)
 	mux.HandleFunc("POST /v1/chaos", s.postChaos)
 	mux.HandleFunc("GET /v1/events", s.getEvents)
+	mux.HandleFunc("GET /v1/stream", s.getStream)
 	mux.HandleFunc("GET /v1/metrics", s.getMetrics)
 	mux.HandleFunc("GET /v1/timeseries", s.getTimeseries)
 	mux.HandleFunc("GET /v1/traces/{id}", s.getTrace)
@@ -254,7 +262,8 @@ func (s *server) postRequest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, requestOut{ID: id, Frame: int(s.frameNow.Load())})
+	// Hand-rolled encoder: this is the hot ingest path (see encode.go).
+	writeCreatedRequest(w, id, int(s.frameNow.Load()))
 }
 
 // retrySeconds renders a Retry-After hint in the header's non-negative
@@ -580,20 +589,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 		// The status line is already out; nothing more to do.
 		return
 	}
-}
-
-// writeError emits the uniform JSON error envelope. Backpressure-class
-// statuses (413, 429, 503) always carry a Retry-After so clients can
-// pace themselves; handlers that computed a sharper hint set the header
-// before calling and the default does not overwrite it.
-func writeError(w http.ResponseWriter, code int, err error) {
-	switch code {
-	case http.StatusRequestEntityTooLarge, http.StatusTooManyRequests, http.StatusServiceUnavailable:
-		if w.Header().Get("Retry-After") == "" {
-			w.Header().Set("Retry-After", "1")
-		}
-	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 func nanToZero(x float64) float64 {

@@ -9,8 +9,10 @@
 // Each generated request is POSTed in trace order with a per-request
 // timeout; 429/503 responses are retried with exponential backoff and
 // jitter, honouring the server's Retry-After hint. Accepted requests
-// are watched via GET /v1/requests/{id} until they are assigned or
-// reach a terminal state. The end-of-run JSON report (schema
+// are watched through a single GET /v1/stream subscription to the
+// lifecycle event topic (falling back to per-request polling of
+// GET /v1/requests/{id} when the stream is unavailable) until they are
+// assigned or reach a terminal state. The end-of-run JSON report (schema
 // "loadgen/v1") is written to -out (stdout by default), and the
 // -max-shed-rate / -min-assigned gates turn the report into a CI
 // verdict: the process exits nonzero when a gate fails.
@@ -51,7 +53,8 @@ func run(args []string, stdout io.Writer) error {
 		retries    = fs.Int("retries", 3, "max retries per shed (429/503) response")
 		backoff    = fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, jittered, floored by Retry-After)")
 		conc       = fs.Int("concurrency", 64, "max concurrent in-flight POSTs")
-		poll       = fs.Duration("poll", 200*time.Millisecond, "outcome poll sweep interval")
+		poll       = fs.Duration("poll", 200*time.Millisecond, "outcome poll sweep interval (fallback mode)")
+		useStream  = fs.Bool("stream", true, "watch outcomes via one /v1/stream subscription instead of polling")
 		drain      = fs.Duration("drain", 30*time.Second, "max wait for outstanding outcomes after the last send")
 		out        = fs.String("out", "", "report JSON path (empty = stdout)")
 		maxShed    = fs.Float64("max-shed-rate", 1, "gate: fail when shed/(shed+accepted) exceeds this fraction")
@@ -97,13 +100,25 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	cl := newClient(*addr, *timeout, *retries, *backoff)
-	rep := replay(cl, reqs, replayConfig{
+	cfg := replayConfig{
 		FrameInterval: *frameEvery,
 		Concurrency:   *conc,
 		Poll:          *poll,
 		Drain:         *drain,
 		Seed:          *seed,
-	})
+	}
+	source := "poll"
+	if *useStream {
+		if w, werr := newStreamWatcher(*addr, *timeout); werr != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: stream watch unavailable (%v); falling back to polling\n", werr)
+		} else {
+			defer w.Close()
+			cfg.Stream = w.events
+			source = "stream"
+		}
+	}
+	rep := replay(cl, reqs, cfg)
+	rep.OutcomeSource = source
 	rep.City = city.Name
 	rep.Frames = *frames
 	rep.Multiplier = *mult
@@ -122,6 +137,10 @@ type replayConfig struct {
 	Poll          time.Duration
 	Drain         time.Duration
 	Seed          int64
+	// Stream, when non-nil, feeds lifecycle outcomes from a
+	// /v1/stream subscription; the collector only falls back to
+	// polling if it closes mid-run.
+	Stream <-chan outcomeEvent
 }
 
 // replay drives the request trace through the client: a pacer releases
@@ -138,7 +157,7 @@ func replay(cl *client, reqs []fleet.Request, cfg replayConfig) *report {
 	)
 	start := time.Now()
 
-	collector := &collector{cl: cl, poll: cfg.Poll, drain: cfg.Drain, agg: &agg}
+	collector := &collector{cl: cl, poll: cfg.Poll, drain: cfg.Drain, agg: &agg, stream: cfg.Stream}
 	wgWatch.Add(1)
 	go func() {
 		defer wgWatch.Done()
@@ -186,56 +205,105 @@ type watch struct {
 	sentAt time.Time
 }
 
-// collector sweeps outstanding accepted requests until each is assigned
-// or terminal, recording the client-observed enqueue→assignment
-// latency. Once the input channel closes (all sends finished) it keeps
-// sweeping until the drain window runs out.
+// collector resolves outstanding accepted requests to outcomes. With a
+// stream it is event-driven: one SSE subscription pushes assignments as
+// they happen, so no per-ID polling at all. Without one — or after the
+// stream dies mid-run — it falls back to sweeping GET /v1/requests/{id}
+// on the poll interval. Once the input channel closes (all sends
+// finished) it keeps collecting until the drain window runs out, with
+// one final poll sweep to cover any events the daemon's ring dropped.
 type collector struct {
-	cl    *client
-	poll  time.Duration
-	drain time.Duration
-	agg   *aggregate
+	cl     *client
+	poll   time.Duration
+	drain  time.Duration
+	agg    *aggregate
+	stream <-chan outcomeEvent
 }
 
 func (c *collector) run(in <-chan watch) {
 	outstanding := map[int]time.Time{}
-	var deadline time.Time
-	open := true
-	for open || len(outstanding) > 0 {
-	intake:
-		for open {
-			select {
-			case w, ok := <-in:
-				if !ok {
-					open = false
-					deadline = time.Now().Add(c.drain)
-				} else {
-					outstanding[w.id] = w.sentAt
-				}
-			default:
-				break intake
-			}
+	// Stream outcomes can race ahead of the worker's intake: the
+	// daemon may assign (and stream the event for) an ID before the
+	// POSTing goroutine registers it here. Park those and claim them
+	// when the watch arrives.
+	early := map[int]bool{}
+	done := map[int]struct{}{}
+	ticker := time.NewTicker(c.poll)
+	defer ticker.Stop()
+	var drainC <-chan time.Time
+	for {
+		if in == nil && len(outstanding) == 0 {
+			return
 		}
-		for id, sentAt := range outstanding {
-			st, err := c.cl.status(id)
-			if err != nil {
-				continue // transient read failure: keep the ID for the next sweep
+		select {
+		case w, ok := <-in:
+			if !ok {
+				in = nil
+				t := time.NewTimer(c.drain)
+				defer t.Stop()
+				drainC = t.C
+				continue
 			}
-			switch st {
-			case "assigned", "riding", "completed":
-				c.agg.noteAssigned(time.Since(sentAt))
-				delete(outstanding, id)
-			case "cancelled", "abandoned":
-				c.agg.noteLost()
-				delete(outstanding, id)
+			if assigned, seen := early[w.id]; seen {
+				delete(early, w.id)
+				done[w.id] = struct{}{}
+				c.resolve(assigned, w.sentAt)
+				continue
 			}
-		}
-		if !open && !deadline.IsZero() && time.Now().After(deadline) {
+			outstanding[w.id] = w.sentAt
+		case ev, ok := <-c.stream:
+			if !ok {
+				// Stream died mid-run: a nil channel never
+				// selects, and the ticker sweeps take over.
+				c.stream = nil
+				continue
+			}
+			if _, dup := done[ev.id]; dup {
+				continue // pickup/dropoff after the resolving assign
+			}
+			if sentAt, seen := outstanding[ev.id]; seen {
+				delete(outstanding, ev.id)
+				done[ev.id] = struct{}{}
+				c.resolve(ev.assigned, sentAt)
+			} else if _, seen := early[ev.id]; !seen {
+				early[ev.id] = ev.assigned
+			}
+		case <-ticker.C:
+			if c.stream == nil {
+				c.sweep(outstanding)
+			}
+		case <-drainC:
+			// The daemon's ring may have dropped events under
+			// burst; one last sweep before declaring timeouts.
+			c.sweep(outstanding)
 			c.agg.noteTimedOut(len(outstanding))
 			return
 		}
-		if open || len(outstanding) > 0 {
-			time.Sleep(c.poll)
+	}
+}
+
+func (c *collector) resolve(assigned bool, sentAt time.Time) {
+	if assigned {
+		c.agg.noteAssigned(time.Since(sentAt))
+	} else {
+		c.agg.noteLost()
+	}
+}
+
+// sweep is the polling path: one status GET per outstanding ID.
+func (c *collector) sweep(outstanding map[int]time.Time) {
+	for id, sentAt := range outstanding {
+		st, err := c.cl.status(id)
+		if err != nil {
+			continue // transient read failure: keep the ID for the next sweep
+		}
+		switch st {
+		case "assigned", "riding", "completed":
+			c.agg.noteAssigned(time.Since(sentAt))
+			delete(outstanding, id)
+		case "cancelled", "abandoned":
+			c.agg.noteLost()
+			delete(outstanding, id)
 		}
 	}
 }

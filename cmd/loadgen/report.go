@@ -16,6 +16,10 @@ type report struct {
 	Multiplier  float64 `json:"multiplier"`
 	DailyVolume int     `json:"dailyVolume"`
 
+	// OutcomeSource records how assignments were observed: "stream"
+	// (one /v1/stream subscription) or "poll" (per-ID status sweeps).
+	OutcomeSource string `json:"outcomeSource,omitempty"`
+
 	DurationSeconds float64 `json:"durationSeconds"`
 	Sent            int     `json:"sent"`
 	Accepted        int     `json:"accepted"`
@@ -41,7 +45,8 @@ type report struct {
 }
 
 // latencyOut is the client-observed enqueue→assignment latency summary.
-// Resolution is bounded below by the -poll sweep interval.
+// In stream mode resolution is event-level; in poll fallback it is
+// bounded below by the -poll sweep interval.
 type latencyOut struct {
 	P50Seconds float64 `json:"p50Seconds"`
 	P95Seconds float64 `json:"p95Seconds"`

@@ -1,0 +1,112 @@
+package main
+
+// Outcome watching over /v1/stream. The original collector polled GET
+// /v1/requests/{id} for every outstanding ID every sweep — O(outstanding)
+// requests per poll interval, which at overload multipliers means the
+// watcher itself becomes load. One SSE subscription to the lifecycle
+// event topic replaces all of it: the daemon pushes assign/cancel/
+// abandon the moment they happen, so outcome latency resolution is no
+// longer bounded by the sweep interval and the daemon serves one
+// connection instead of thousands of polls.
+//
+// Polling remains as the fallback (stream connect refused: older
+// daemon, proxy stripping SSE) and as the final drain sweep — the
+// stream's ring may drop events under extreme load, so IDs still
+// outstanding at the drain deadline get one last poll before being
+// declared timed out.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"stabledispatch/internal/stream"
+)
+
+// outcomeEvent is one lifecycle resolution pulled off the stream.
+type outcomeEvent struct {
+	id       int
+	assigned bool // true: reached a taxi; false: cancelled/abandoned
+}
+
+// streamWatcher owns the /v1/stream subscription feeding the collector.
+type streamWatcher struct {
+	events chan outcomeEvent
+	stop   context.CancelFunc
+}
+
+// newStreamWatcher subscribes to the daemon's lifecycle event topic.
+// A refused or non-SSE response is returned as an error; the caller
+// falls back to polling.
+func newStreamWatcher(base string, connectTimeout time.Duration) (*streamWatcher, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/stream?topics=events", nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// ResponseHeaderTimeout bounds the connect; a Client.Timeout would
+	// also bound the body read, which for SSE must stay open forever.
+	cl := &http.Client{Transport: &http.Transport{ResponseHeaderTimeout: connectTimeout}}
+	resp, err := cl.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("stream connect: %s: %s", resp.Status, body)
+	}
+
+	w := &streamWatcher{events: make(chan outcomeEvent, 1024), stop: cancel}
+	go w.read(resp.Body)
+	return w, nil
+}
+
+// read parses the SSE feed into outcome events until the stream closes;
+// the channel close is the collector's fall-back-to-polling signal.
+func (w *streamWatcher) read(body io.ReadCloser) {
+	defer body.Close()
+	defer close(w.events)
+	r := stream.NewReader(body)
+	for {
+		ev, err := r.ReadEvent()
+		if err != nil {
+			return
+		}
+		if ev.Name != "events" {
+			continue // snapshot, heartbeats
+		}
+		var e struct {
+			Kind      string `json:"kind"`
+			RequestID int    `json:"requestId"`
+		}
+		if err := json.Unmarshal(ev.Data, &e); err != nil || e.RequestID < 0 {
+			continue
+		}
+		switch e.Kind {
+		// assign is the signal; pickup/dropoff cover an assign the
+		// ring dropped under burst.
+		case "assign", "pickup", "dropoff":
+			w.events <- outcomeEvent{id: e.RequestID, assigned: true}
+		// abandon is final; cancel is NOT — a breakdown revocation
+		// emits cancel then requeue, and the request may still be
+		// assigned. Unrequeued cancels resolve in the drain sweep.
+		case "abandon":
+			w.events <- outcomeEvent{id: e.RequestID, assigned: false}
+		}
+	}
+}
+
+// Close tears the subscription down; the reader goroutine closes the
+// events channel on its way out.
+func (w *streamWatcher) Close() {
+	if w != nil {
+		w.stop()
+	}
+}

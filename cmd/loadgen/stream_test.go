@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStreamWatcherKindMapping pins the lifecycle-kind → outcome
+// mapping against a canned SSE feed, including the events the watcher
+// must skip (snapshot, heartbeats, non-terminal kinds, garbage).
+func TestStreamWatcherKindMapping(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("topics"); got != "events" {
+			t.Errorf("topics query = %q, want events", got)
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "event: snapshot\ndata: {}\n\n")
+		fmt.Fprint(w, ": heartbeat seq=0\n\n")
+		fmt.Fprint(w, "event: events\ndata: {\"kind\":\"assign\",\"requestId\":1}\n\n")
+		fmt.Fprint(w, "event: events\ndata: {\"kind\":\"abandon\",\"requestId\":2}\n\n")
+		fmt.Fprint(w, "event: events\ndata: {\"kind\":\"request\",\"requestId\":3}\n\n")
+		fmt.Fprint(w, "event: events\ndata: {\"kind\":\"cancel\",\"requestId\":3}\n\n")
+		fmt.Fprint(w, "event: events\ndata: not json\n\n")
+		fmt.Fprint(w, "event: events\ndata: {\"kind\":\"dropoff\",\"requestId\":4}\n\n")
+	}))
+	defer srv.Close()
+
+	w, err := newStreamWatcher(srv.URL, time.Second)
+	if err != nil {
+		t.Fatalf("newStreamWatcher: %v", err)
+	}
+	defer w.Close()
+
+	var got []outcomeEvent
+	for ev := range w.events { // handler return closes the stream
+		got = append(got, ev)
+	}
+	want := []outcomeEvent{{1, true}, {2, false}, {4, true}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("outcomes = %+v, want %+v", got, want)
+	}
+}
+
+func TestStreamWatcherUnavailable(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(http.NotFound))
+	defer srv.Close()
+	if w, err := newStreamWatcher(srv.URL, time.Second); err == nil {
+		w.Close()
+		t.Fatal("watcher connected to a daemon without /v1/stream")
+	}
+}
+
+// TestReplayStreamMode runs the full replay against a stub that streams
+// an assign event for every accepted POST — and proves the collector
+// never polls: the status endpoint counts its callers.
+func TestReplayStreamMode(t *testing.T) {
+	var nextID, statusCalls atomic.Int64
+	ids := make(chan int64, 256)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/requests", func(w http.ResponseWriter, r *http.Request) {
+		id := nextID.Add(1) - 1
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]int64{"id": id, "frame": 0})
+		ids <- id
+	})
+	mux.HandleFunc("GET /v1/requests/{id}", func(w http.ResponseWriter, r *http.Request) {
+		statusCalls.Add(1)
+		json.NewEncoder(w).Encode(map[string]string{"status": "assigned"})
+	})
+	mux.HandleFunc("GET /v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "event: snapshot\ndata: {}\n\n")
+		w.(http.Flusher).Flush()
+		for {
+			select {
+			case id := <-ids:
+				fmt.Fprintf(w, "event: events\nid: %d\ndata: {\"frame\":1,\"kind\":\"assign\",\"requestId\":%d,\"taxiId\":0}\n\n", id+1, id)
+				w.(http.Flusher).Flush()
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	watcher, err := newStreamWatcher(srv.URL, time.Second)
+	if err != nil {
+		t.Fatalf("newStreamWatcher: %v", err)
+	}
+	defer watcher.Close()
+
+	cl := newClient(srv.URL, time.Second, 0, time.Millisecond)
+	cfg := fastReplayConfig()
+	cfg.Stream = watcher.events
+	rep := replay(cl, testRequests(20), cfg)
+	if rep.Accepted != 20 || rep.Assigned != 20 {
+		t.Fatalf("accepted=%d assigned=%d, want 20/20", rep.Accepted, rep.Assigned)
+	}
+	if rep.TimedOut != 0 {
+		t.Fatalf("timedOut=%d, want 0", rep.TimedOut)
+	}
+	if n := statusCalls.Load(); n != 0 {
+		t.Fatalf("stream mode made %d status polls, want 0", n)
+	}
+}
+
+// TestCollectorResolvesEventBeforeIntake covers the race where the
+// daemon assigns (and streams) an ID before the POSTing worker
+// registers the watch: the early outcome must be parked and claimed.
+func TestCollectorResolvesEventBeforeIntake(t *testing.T) {
+	events := make(chan outcomeEvent, 2)
+	events <- outcomeEvent{id: 7, assigned: true}
+	events <- outcomeEvent{id: 8, assigned: false}
+
+	var agg aggregate
+	c := &collector{poll: time.Hour, drain: time.Hour, agg: &agg, stream: events}
+	in := make(chan watch, 2)
+	in <- watch{id: 7, sentAt: time.Now()}
+	in <- watch{id: 8, sentAt: time.Now()}
+	close(in)
+	c.run(in) // must terminate without touching the nil client
+
+	if agg.assigned != 1 || agg.lost != 1 || agg.timedOut != 0 {
+		t.Fatalf("assigned=%d lost=%d timedOut=%d, want 1/1/0", agg.assigned, agg.lost, agg.timedOut)
+	}
+}
+
+// TestCollectorFallsBackWhenStreamDies pins the mid-run fallback: a
+// closed stream channel flips the collector to polling sweeps.
+func TestCollectorFallsBackWhenStreamDies(t *testing.T) {
+	stub := newStub(0, "")
+	srv := httptest.NewServer(stub.mux)
+	defer srv.Close()
+
+	events := make(chan outcomeEvent)
+	close(events) // stream dead on arrival
+
+	var agg aggregate
+	c := &collector{
+		cl:     newClient(srv.URL, time.Second, 0, time.Millisecond),
+		poll:   time.Millisecond,
+		drain:  5 * time.Second,
+		agg:    &agg,
+		stream: events,
+	}
+	in := make(chan watch, 4)
+	for i := 0; i < 3; i++ {
+		in <- watch{id: i, sentAt: time.Now()}
+	}
+	close(in)
+	c.run(in)
+
+	if agg.assigned != 3 {
+		t.Fatalf("assigned=%d after fallback, want 3", agg.assigned)
+	}
+	if agg.timedOut != 0 {
+		t.Fatalf("timedOut=%d, want 0", agg.timedOut)
+	}
+}
+
+// TestCollectorFinalSweepCoversDroppedEvents pins the drain-deadline
+// safety net: a silent stream (the daemon's ring dropped our events)
+// still resolves outcomes through one final poll sweep.
+func TestCollectorFinalSweepCoversDroppedEvents(t *testing.T) {
+	stub := newStub(0, "")
+	srv := httptest.NewServer(stub.mux)
+	defer srv.Close()
+
+	events := make(chan outcomeEvent) // open but never delivers
+	defer close(events)
+
+	var agg aggregate
+	c := &collector{
+		cl:     newClient(srv.URL, time.Second, 0, time.Millisecond),
+		poll:   time.Hour, // ticker must not fire while streaming
+		drain:  50 * time.Millisecond,
+		agg:    &agg,
+		stream: events,
+	}
+	in := make(chan watch, 1)
+	in <- watch{id: 1, sentAt: time.Now()}
+	close(in)
+	c.run(in)
+
+	if agg.assigned != 1 || agg.timedOut != 0 {
+		t.Fatalf("assigned=%d timedOut=%d, want 1/0 (final sweep)", agg.assigned, agg.timedOut)
+	}
+}

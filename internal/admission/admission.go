@@ -42,6 +42,7 @@ import (
 
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/obs"
+	"stabledispatch/internal/stream"
 )
 
 // Defaults for Config zero values.
@@ -150,23 +151,57 @@ func New(cfg Config) *Controller {
 	return c
 }
 
+// Decision is the live-stream payload of one front-door outcome,
+// published on the admission topic: per-request accept/shed decisions
+// and per-frame intake summaries, each carrying the queue and ledger
+// gauges at decision time.
+type Decision struct {
+	Kind string `json:"kind"` // "accepted", "shed", or "intake"
+	// ID is the accepted request's ID (-1 for shed and intake).
+	ID int `json:"id"`
+	// Reason is the shed reason ("" otherwise).
+	Reason Reason `json:"reason,omitempty"`
+	// Batch is the intake summary's injected-batch size (0 otherwise).
+	Batch      int `json:"batch,omitempty"`
+	QueueDepth int `json:"queueDepth"`
+	Inflight   int `json:"inflight"`
+}
+
+// publish emits one front-door decision on the live stream. Called
+// outside c.mu: the hub has its own locks and must never nest inside
+// the controller's (and a publish must never extend the admission
+// critical section).
+func (c *Controller) publish(d Decision) {
+	if stream.Wants(stream.TopicAdmission) {
+		stream.Publish(stream.TopicAdmission, -1, d)
+	}
+}
+
 // Admit runs admission control on r and, if accepted, allocates its ID,
 // stamps it into r, and enqueues it for the next frame boundary. The
 // returned ID is the request's identity for the rest of its life. On
 // shed the error is a *ShedError and no state changes.
 func (c *Controller) Admit(r fleet.Request) (int, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.draining {
 		c.shed[ReasonDraining].Inc()
+		depth, inflight := len(c.queue), c.inflight
+		c.mu.Unlock()
+		c.publish(Decision{Kind: "shed", ID: -1, Reason: ReasonDraining, QueueDepth: depth, Inflight: inflight})
 		return 0, &ShedError{Reason: ReasonDraining, RetryAfter: c.cfg.RetryAfter}
 	}
 	if len(c.queue) >= c.cfg.QueueCap {
 		c.shed[ReasonQueueFull].Inc()
+		depth, inflight := len(c.queue), c.inflight
+		c.mu.Unlock()
+		c.publish(Decision{Kind: "shed", ID: -1, Reason: ReasonQueueFull, QueueDepth: depth, Inflight: inflight})
 		return 0, &ShedError{Reason: ReasonQueueFull, RetryAfter: c.cfg.RetryAfter}
 	}
 	if c.cfg.MaxInflight > 0 && c.inflight >= c.cfg.MaxInflight {
 		c.shed[ReasonInflight].Inc()
+		depth, inflight := len(c.queue), c.inflight
+		c.mu.Unlock()
+		c.publish(Decision{Kind: "shed", ID: -1, Reason: ReasonInflight, QueueDepth: depth, Inflight: inflight})
 		return 0, &ShedError{Reason: ReasonInflight, RetryAfter: c.cfg.RetryAfter}
 	}
 	id := c.nextID
@@ -176,22 +211,29 @@ func (c *Controller) Admit(r fleet.Request) (int, error) {
 	c.entries[id] = &entry{enqueuedAt: c.cfg.now()}
 	c.inflight++
 	c.accepted.Inc()
-	c.depth.Set(float64(len(c.queue)))
+	depth, inflight := len(c.queue), c.inflight
+	c.depth.Set(float64(depth))
+	c.mu.Unlock()
+	c.publish(Decision{Kind: "accepted", ID: id, QueueDepth: depth, Inflight: inflight})
 	return id, nil
 }
 
 // TakeBatch removes and returns every queued request in admission
 // order. The serving layer calls it at each frame boundary, injects the
-// batch, then steps the frame.
+// batch, then steps the frame. A non-empty take publishes one intake
+// summary on the admission stream topic.
 func (c *Controller) TakeBatch() []fleet.Request {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if len(c.queue) == 0 {
+		c.mu.Unlock()
 		return nil
 	}
 	batch := c.queue
 	c.queue = nil
 	c.depth.Set(0)
+	inflight := c.inflight
+	c.mu.Unlock()
+	c.publish(Decision{Kind: "intake", ID: -1, Batch: len(batch), Inflight: inflight})
 	return batch
 }
 

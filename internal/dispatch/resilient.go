@@ -8,6 +8,7 @@ import (
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/flightrec"
 	"stabledispatch/internal/sim"
+	"stabledispatch/internal/stream"
 )
 
 // DefaultFrameDeadline bounds one frame's dispatch compute when
@@ -93,6 +94,13 @@ func (d *Resilient) degrade(f *sim.Frame, reason string, cause error) ([]fleet.A
 	traceDegrade(f.Number, d.primary.Name(), d.fallback.Name(), reason, cause)
 	flightrec.TriggerActive(int64(f.Number), flightrec.ReasonDegraded,
 		fmt.Sprintf("%s degraded to %s (%s): %v", d.primary.Name(), d.fallback.Name(), reason, cause))
+	if stream.Wants(stream.TopicNotices) {
+		stream.Publish(stream.TopicNotices, int64(f.Number), stream.Notice{
+			Kind:   "degrade",
+			Frame:  int64(f.Number),
+			Detail: fmt.Sprintf("%s degraded to %s (%s): %v", d.primary.Name(), d.fallback.Name(), reason, cause),
+		})
+	}
 	res := safeDispatch(d.fallback, f)
 	if res.err != nil {
 		return nil, fmt.Errorf("dispatch: fallback %s after %s degrade: %w", d.fallback.Name(), reason, res.err)

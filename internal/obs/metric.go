@@ -56,5 +56,12 @@ func (g *Gauge) Add(delta float64) {
 	}
 }
 
+// Inc adds one to the gauge — the idiom for occupancy gauges
+// (subscriber counts, open connections) that move by ±1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one from the gauge.
+func (g *Gauge) Dec() { g.Add(-1) }
+
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

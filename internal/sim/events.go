@@ -8,6 +8,7 @@ import (
 	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/flightrec"
 	"stabledispatch/internal/geo"
+	"stabledispatch/internal/stream"
 )
 
 // EventKind labels one simulator event.
@@ -133,8 +134,8 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 	return events, nil
 }
 
-// emit counts an event and forwards it to the configured sink and the
-// decision-trace layer, if active.
+// emit counts an event and forwards it to the configured sink, the
+// decision-trace layer, and the live telemetry stream, if active.
 func (s *Simulator) emit(e Event) {
 	if c := obsEvents[e.Kind]; c != nil {
 		c.Inc()
@@ -147,5 +148,20 @@ func (s *Simulator) emit(e Event) {
 	}
 	if fr := flightrec.Active(); fr != nil {
 		fr.RecordEvent(int64(e.Frame), e)
+	}
+	// Live telemetry: every lifecycle event on the events topic, and a
+	// breakdown additionally as an operator notice. Both gated on an
+	// interested subscriber (one atomic load otherwise), and the hub
+	// never blocks — a wedged stream consumer drops its own entries
+	// instead of slowing this frame.
+	if stream.Wants(stream.TopicEvents) {
+		stream.Publish(stream.TopicEvents, int64(e.Frame), e)
+	}
+	if e.Kind == EventBreakdown && stream.Wants(stream.TopicNotices) {
+		stream.Publish(stream.TopicNotices, int64(e.Frame), stream.Notice{
+			Kind:   "breakdown",
+			Frame:  int64(e.Frame),
+			Detail: fmt.Sprintf("taxi %d broke down mid-route", e.TaxiID),
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/fault"
 	"stabledispatch/internal/flightrec"
+	"stabledispatch/internal/stream"
 	"stabledispatch/internal/tseries"
 )
 
@@ -24,6 +25,12 @@ func (s *Simulator) watchFrame(sample tseries.Sample) {
 	}
 	if s.cfg.SLO != nil {
 		s.cfg.SLO.Observe(sample)
+	}
+	// Live telemetry: one kpi message per recorded frame. Gated on an
+	// interested subscriber so the batch runners (no hub) and an idle
+	// daemon (no /v1/stream connection) pay one atomic load.
+	if stream.Wants(stream.TopicKPI) {
+		stream.Publish(stream.TopicKPI, sample.Frame, sample)
 	}
 }
 

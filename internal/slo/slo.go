@@ -33,6 +33,7 @@ import (
 
 	"stabledispatch/internal/flightrec"
 	"stabledispatch/internal/obs"
+	"stabledispatch/internal/stream"
 	"stabledispatch/internal/tseries"
 )
 
@@ -300,6 +301,8 @@ func (e *Engine) Observe(s tseries.Sample) {
 
 	type breach struct{ name, detail string }
 	var breaches []breach
+	var transitions []Transition
+	wantStream := stream.Wants(stream.TopicSLO)
 	for _, o := range e.objs {
 		o.fast, o.fastOK = e.evalLocked(o.def, o.def.FastWindow)
 		o.slow, o.slowOK = e.evalLocked(o.def, o.def.SlowWindow)
@@ -335,6 +338,17 @@ func (e *Engine) Observe(s tseries.Sample) {
 					detail: fmt.Sprintf("%s: %s (fast=%g slow=%g)", o.def.Name, o.def.Expr(), o.fast, o.slow),
 				})
 			}
+			if wantStream {
+				transitions = append(transitions, Transition{
+					Name:  o.def.Name,
+					Expr:  o.def.Expr(),
+					From:  prev,
+					To:    o.state,
+					Frame: s.Frame,
+					Fast:  o.fast,
+					Slow:  o.slow,
+				})
+			}
 		}
 		o.stateG.Set(stateRank(o.state))
 		o.fastG.Set(o.fast)
@@ -343,11 +357,27 @@ func (e *Engine) Observe(s tseries.Sample) {
 	frame := s.Frame
 	e.mu.Unlock()
 
-	// Trigger outside the lock: the recorder's sections callback calls
-	// back into Status, which takes e.mu.
+	// Trigger and publish outside the lock: the recorder's sections
+	// callback calls back into Status, which takes e.mu, and the stream
+	// hub's locks must never nest inside the engine's.
 	for _, b := range breaches {
 		flightrec.TriggerActive(frame, flightrec.ReasonSLOBreach, b.detail)
 	}
+	for _, tr := range transitions {
+		stream.Publish(stream.TopicSLO, tr.Frame, tr)
+	}
+}
+
+// Transition is one hysteresis state change, published on the live
+// telemetry stream's slo topic the frame it happens.
+type Transition struct {
+	Name  string  `json:"slo"`
+	Expr  string  `json:"expr"`
+	From  State   `json:"from"`
+	To    State   `json:"to"`
+	Frame int64   `json:"frame"`
+	Fast  float64 `json:"fast"`
+	Slow  float64 `json:"slow"`
 }
 
 // evalLocked aggregates the newest min(win, n) samples for one def.

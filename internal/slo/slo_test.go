@@ -56,19 +56,19 @@ func TestParseLine(t *testing.T) {
 func TestParseRejects(t *testing.T) {
 	bad := []string{
 		"no colon here",
-		"x: bogus_series < 1",              // unknown series
-		"x: wat(served) < 1",               // unknown aggregator
-		"x: served ~ 1",                    // unknown operator
-		"x: served < banana",               // bad threshold
-		"x: served < 1 fast=0",             // non-positive window
-		"x: served < 1 turbo=3",            // unknown option
-		"x: frac(expired) < 1",             // frac arity
-		"x: max(a, b) < 1",                 // single-series agg with two
-		"x: served < 1 fast=60 slow=5",     // slow < fast
-		"two words: served < 1",            // bad name
-		"x: frac(expired, bogus) < 1",      // unknown second series
-		"x: frac(expired, served, x) < 1",  // too many args
-		"x: max(delay_p95 < 1",             // unbalanced parens
+		"x: bogus_series < 1",             // unknown series
+		"x: wat(served) < 1",              // unknown aggregator
+		"x: served ~ 1",                   // unknown operator
+		"x: served < banana",              // bad threshold
+		"x: served < 1 fast=0",            // non-positive window
+		"x: served < 1 turbo=3",           // unknown option
+		"x: frac(expired) < 1",            // frac arity
+		"x: max(a, b) < 1",                // single-series agg with two
+		"x: served < 1 fast=60 slow=5",    // slow < fast
+		"two words: served < 1",           // bad name
+		"x: frac(expired, bogus) < 1",     // unknown second series
+		"x: frac(expired, served, x) < 1", // too many args
+		"x: max(delay_p95 < 1",            // unbalanced parens
 	}
 	for _, line := range bad {
 		if _, err := ParseLine(line); err == nil {

@@ -296,6 +296,26 @@ func (r *Recorder) Window(from, to int64, step int) []Sample {
 	return out
 }
 
+// LastN copies out the newest n retained samples in chronological
+// order (all of them when n exceeds the retained count). The result is
+// never nil. The live-stream snapshot uses it to seed a new subscriber
+// with the recent KPI trajectory.
+func (r *Recorder) LastN(n int) []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.n {
+		n = r.n
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]Sample, 0, n)
+	for i := r.n - n; i < r.n; i++ {
+		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out
+}
+
 // Last returns the most recent sample, or ok=false on an empty ring.
 func (r *Recorder) Last() (Sample, bool) {
 	r.mu.Lock()

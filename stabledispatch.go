@@ -50,6 +50,7 @@ import (
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/slo"
 	"stabledispatch/internal/stable"
+	"stabledispatch/internal/stream"
 	"stabledispatch/internal/trace"
 	"stabledispatch/internal/tseries"
 )
@@ -478,3 +479,38 @@ func ActiveFlightRecorder() *FlightRecorder { return flightrec.Active() }
 func ReadBundleManifest(bundleDir string) (BundleManifest, error) {
 	return flightrec.ReadManifest(bundleDir)
 }
+
+// Telemetry streaming types: a broadcast hub fans per-frame telemetry
+// (KPI samples, SLO transitions, admission decisions, lifecycle events,
+// operator notices) to subscribers through bounded per-subscriber
+// rings; a slow subscriber drops its own oldest entries and can never
+// block a producer. dispatchd serves the installed hub at GET
+// /v1/stream over SSE.
+type (
+	// StreamHub is the broadcast hub.
+	StreamHub = stream.Hub
+	// StreamSub is one subscription with its bounded ring.
+	StreamSub = stream.Sub
+	// StreamTopic names one telemetry topic (kpi, slo, admission,
+	// events, notice).
+	StreamTopic = stream.Topic
+	// StreamMsg is one published message: topic, sequence, frame, and
+	// the marshalled payload shared by every subscriber.
+	StreamMsg = stream.Msg
+)
+
+// NewStreamHub builds a hub and registers its obs metrics
+// (stream_published_total, stream_dropped_total, stream_subscribers).
+func NewStreamHub() *StreamHub { return stream.NewHub() }
+
+// SetActiveStreamHub installs (or, with nil, removes) the process-wide
+// hub the simulator, SLO engine, admission controller, and resilient
+// dispatcher publish into.
+func SetActiveStreamHub(h *StreamHub) { stream.SetActive(h) }
+
+// ActiveStreamHub returns the installed hub, or nil when streaming is
+// off.
+func ActiveStreamHub() *StreamHub { return stream.Active() }
+
+// StreamTopics lists the valid telemetry topics.
+func StreamTopics() []StreamTopic { return append([]StreamTopic(nil), stream.Topics...) }

@@ -370,3 +370,54 @@ func TestFacadeKPISeries(t *testing.T) {
 		t.Errorf("KPIWindow(1,3,1) = %d samples starting %v", len(win), win)
 	}
 }
+
+// TestFacadeStreamHub installs the process-wide telemetry hub through
+// the public API and proves a simulation's lifecycle events reach a
+// subscriber's ring.
+func TestFacadeStreamHub(t *testing.T) {
+	reqs, err := GenerateTrace(BostonConfig(10, 5))
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+	taxis, err := GenerateTaxis(Boston(), 20, 6)
+	if err != nil {
+		t.Fatalf("GenerateTaxis: %v", err)
+	}
+
+	hub := NewStreamHub()
+	SetActiveStreamHub(hub)
+	defer SetActiveStreamHub(nil)
+	if ActiveStreamHub() != hub {
+		t.Fatal("ActiveStreamHub did not return the installed hub")
+	}
+	if topics := StreamTopics(); len(topics) != 5 {
+		t.Fatalf("StreamTopics() = %v, want 5 topics", topics)
+	}
+	sub := hub.Subscribe(65536, "events")
+	defer sub.Close()
+
+	s, err := NewSimulator(SimConfig{
+		Dispatcher: NSTDP(),
+		Params:     DefaultParams(),
+	}, taxis, reqs)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	msgs := sub.TakeBatch(nil)
+	if len(msgs) == 0 {
+		t.Fatalf("no stream messages after %d served rides", rep.ServedCount())
+	}
+	for _, m := range msgs {
+		if m.Topic != StreamTopic("events") {
+			t.Fatalf("subscribed to events, got topic %q", m.Topic)
+		}
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("%d drops on an oversized ring", sub.Dropped())
+	}
+}
