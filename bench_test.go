@@ -9,6 +9,7 @@ package stabledispatch
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"stabledispatch/internal/costplane"
 	"stabledispatch/internal/dispatch"
@@ -19,6 +20,7 @@ import (
 	"stabledispatch/internal/match"
 	"stabledispatch/internal/obs"
 	"stabledispatch/internal/pref"
+	"stabledispatch/internal/prof"
 	"stabledispatch/internal/roadnet"
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
@@ -278,6 +280,37 @@ func BenchmarkDispatchFrameRecorded(b *testing.B) {
 			b.Fatal("no assignments")
 		}
 		rec.Record(tseries.Sample{Frame: int64(i), Served: int64(len(out))})
+	}
+}
+
+// BenchmarkDispatchFrameProfiled measures the identical frame with the
+// frame-budget ledger active on top of the obs registry, the way a
+// profiled Simulator.Step runs one: BeginFrame/EndFrame bracket the
+// dispatch and every stage span records into the ledger. Compare
+// against BenchmarkDispatchFrameInstrumented to bound the profiler
+// overhead (budget: ≤5% — per stage one monotonic clock read and a few
+// array stores, per frame one ring slot write, all allocation-free).
+func BenchmarkDispatchFrameProfiled(b *testing.B) {
+	was := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(was)
+	ld := prof.Configure(prof.Config{TopN: 8})
+	defer prof.Disable()
+	f := benchFrame(b, 100, 400)
+	d := dispatch.NewNSTDP()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ld.BeginFrame(int64(i))
+		start := time.Now()
+		out, err := d.Dispatch(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("no assignments")
+		}
+		ld.EndFrame(int64(i), time.Since(start).Nanoseconds(), 0)
 	}
 }
 

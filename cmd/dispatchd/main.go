@@ -27,6 +27,7 @@
 //	GET    /v1/frames/{n}/stability    blocking-pair certificate of frame n
 //	GET    /v1/timeseries              per-frame KPI series (?series=&from=&to=&step=&limit=&format=csv)
 //	GET    /v1/slo                     per-objective SLO alert table (-slo-file)
+//	GET    /v1/profile                 frame-budget profiler: stage breakdown, slow-frame attribution
 //	POST   /v1/debug/bundle            force a flight-recorder diagnostic bundle (-bundle-dir)
 //	GET    /v1/metrics        Prometheus text format
 //	GET    /healthz           uptime, frame, occupancy counts, and SLO alert state
@@ -58,6 +59,7 @@ import (
 	"stabledispatch/internal/dtrace"
 	"stabledispatch/internal/flightrec"
 	"stabledispatch/internal/pref"
+	"stabledispatch/internal/prof"
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/slo"
@@ -76,26 +78,30 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dispatchd", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		cityName  = fs.String("city", "boston", "city model: boston or newyork")
-		taxis     = fs.Int("taxis", 200, "fleet size")
-		algo      = fs.String("algo", "nstd-p", "dispatch algorithm")
-		seed      = fs.Int64("seed", 42, "random seed for taxi placement")
-		theta     = fs.Float64("theta", 5, "sharing detour bound in km")
-		auto      = fs.Duration("auto", 0, "advance one frame automatically at this interval (0 = manual /v1/tick only)")
-		debug     = fs.String("debug-addr", "", "optional extra listener for net/http/pprof (e.g. localhost:6060; empty = disabled)")
-		quiet     = fs.Bool("quiet", false, "suppress per-request access logging")
-		frameDDL  = fs.Duration("frame-deadline", 0, "per-frame dispatch compute deadline; overruns and panics degrade to greedy (0 = unbounded)")
-		dtraceOn  = fs.Bool("dtrace", true, "record per-request decision traces and frame stability certificates")
-		traceCap  = fs.Int("trace-capacity", dtrace.DefaultCapacity, "max request traces retained in the decision-trace ring")
-		kpiCap    = fs.Int("kpi-capacity", tseries.DefaultCapacity, "per-frame KPI samples retained for /v1/timeseries (0 disables recording)")
-		workers   = fs.Int("workers", 0, "cost-plane worker pool size; 0 = GOMAXPROCS (results are identical for any value)")
-		sloFile   = fs.String("slo-file", "", "SLO definitions file; objectives are evaluated every frame and served at /v1/slo (requires KPI recording)")
-		bundleDir = fs.String("bundle-dir", "", "flight-recorder bundle directory; enables diagnostic bundles on SLO breach, degrade, panic, certificate violation, or POST /v1/debug/bundle")
-		intakeCap = fs.Int("intake-queue", admission.DefaultQueueCap, "admission queue capacity: requests accepted but not yet injected into a frame; beyond it POST /v1/requests sheds 429")
-		maxInfl   = fs.Int("max-inflight", 100000, "max admitted requests that have not reached a terminal state; beyond it POST /v1/requests sheds 429 (0 = unlimited)")
-		streamBuf = fs.Int("stream-buffer", stream.DefaultRingSize, "per-connection /v1/stream ring capacity; a consumer slower than the feed drops its own oldest entries beyond it")
-		streamHB  = fs.Duration("stream-heartbeat", defaultStreamHeartbeat, "keepalive comment interval on idle /v1/stream connections")
+		addr       = fs.String("addr", ":8080", "listen address")
+		cityName   = fs.String("city", "boston", "city model: boston or newyork")
+		taxis      = fs.Int("taxis", 200, "fleet size")
+		algo       = fs.String("algo", "nstd-p", "dispatch algorithm")
+		seed       = fs.Int64("seed", 42, "random seed for taxi placement")
+		theta      = fs.Float64("theta", 5, "sharing detour bound in km")
+		auto       = fs.Duration("auto", 0, "advance one frame automatically at this interval (0 = manual /v1/tick only)")
+		debug      = fs.String("debug-addr", "", "optional extra listener for net/http/pprof (e.g. localhost:6060; empty = disabled)")
+		quiet      = fs.Bool("quiet", false, "suppress per-request access logging")
+		frameDDL   = fs.Duration("frame-deadline", 0, "per-frame dispatch compute deadline; overruns and panics degrade to greedy (0 = unbounded)")
+		dtraceOn   = fs.Bool("dtrace", true, "record per-request decision traces and frame stability certificates")
+		traceCap   = fs.Int("trace-capacity", dtrace.DefaultCapacity, "max request traces retained in the decision-trace ring")
+		kpiCap     = fs.Int("kpi-capacity", tseries.DefaultCapacity, "per-frame KPI samples retained for /v1/timeseries (0 disables recording)")
+		workers    = fs.Int("workers", 0, "cost-plane worker pool size; 0 = GOMAXPROCS (results are identical for any value)")
+		sloFile    = fs.String("slo-file", "", "SLO definitions file; objectives are evaluated every frame and served at /v1/slo (requires KPI recording)")
+		bundleDir  = fs.String("bundle-dir", "", "flight-recorder bundle directory; enables diagnostic bundles on SLO breach, degrade, panic, certificate violation, or POST /v1/debug/bundle")
+		intakeCap  = fs.Int("intake-queue", admission.DefaultQueueCap, "admission queue capacity: requests accepted but not yet injected into a frame; beyond it POST /v1/requests sheds 429")
+		maxInfl    = fs.Int("max-inflight", 100000, "max admitted requests that have not reached a terminal state; beyond it POST /v1/requests sheds 429 (0 = unlimited)")
+		streamBuf  = fs.Int("stream-buffer", stream.DefaultRingSize, "per-connection /v1/stream ring capacity; a consumer slower than the feed drops its own oldest entries beyond it")
+		streamHB   = fs.Duration("stream-heartbeat", defaultStreamHeartbeat, "keepalive comment interval on idle /v1/stream connections")
+		profBudget = fs.Duration("prof-budget", 0, "frame deadline budget for the frame-budget profiler; frames over it are overruns and, with -bundle-dir, capture pprof CPU/heap deltas into a flight-recorder bundle (0 = attribution only, no overrun detection)")
+		profTopN   = fs.Int("prof-topn", prof.DefaultTopN, "slowest frames retained with per-stage attribution at /v1/profile")
+		profCapt   = fs.Int("prof-capture-frames", prof.DefaultCaptureFrames, "frames the CPU profile spans after an overrun trigger")
+		profCool   = fs.Int64("prof-cooldown", prof.DefaultCooldownFrames, "minimum frames between two overrun captures; overruns inside it are counted, not captured")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,6 +145,22 @@ func run(args []string) error {
 		}
 		defer flightrec.Disable()
 	}
+	// The frame-budget profiler is always on in the daemon: /v1/profile
+	// and the prof stream topic need the ledger, and its disabled-overrun
+	// cost is a few span reads per frame. Overrun captures only arm when
+	// a budget is set; they bundle through the flight recorder when one
+	// is configured.
+	profCfg := prof.Config{
+		BudgetNs:       profBudget.Nanoseconds(),
+		TopN:           *profTopN,
+		CaptureFrames:  *profCapt,
+		CooldownFrames: *profCool,
+	}
+	if *profBudget > 0 && *bundleDir != "" {
+		profCfg.OnCapture = flightrec.OverrunHandler()
+	}
+	prof.Configure(profCfg)
+	defer prof.Disable()
 	var sloEng *slo.Engine
 	if *sloFile != "" {
 		if kpi == nil {

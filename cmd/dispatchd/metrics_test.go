@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"stabledispatch/internal/obs"
+	"stabledispatch/internal/prof"
 )
 
 // interruptAfterStartup sends SIGINT once run has had time to install
@@ -163,7 +164,7 @@ func TestReportIncludesStageBreakdown(t *testing.T) {
 	if report.FrameLatency == nil || report.FrameLatency.Count == 0 {
 		t.Errorf("frame latency missing: %+v", report.FrameLatency)
 	}
-	stages := make(map[string]stageOut)
+	stages := make(map[string]prof.StageSummary)
 	for _, st := range report.Stages {
 		stages[st.Stage] = st
 	}

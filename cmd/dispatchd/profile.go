@@ -1,0 +1,44 @@
+package main
+
+import (
+	"net/http"
+
+	"stabledispatch/internal/prof"
+)
+
+// profileOut is the GET /v1/profile payload: the frame-budget
+// profiler's view of the serve path. Stages carries the rolling
+// per-stage percentile distributions (present whenever frames have
+// run, ledger or not); Summary and TopFrames come from the per-frame
+// cost ledger and are absent until -prof is enabled.
+type profileOut struct {
+	// Enabled reports whether the per-frame cost ledger is installed.
+	Enabled  bool  `json:"enabled"`
+	BudgetNs int64 `json:"budgetNs,omitempty"`
+	// Summary is the run-cumulative ledger: per-stage time/alloc/cache
+	// attribution, overrun and capture counts.
+	Summary *prof.Summary `json:"summary,omitempty"`
+	// FrameLatency is the whole-frame wall-clock distribution.
+	FrameLatency *prof.StageSummary `json:"frameLatency,omitempty"`
+	// Stages are the rolling per-stage distributions.
+	Stages []prof.StageSummary `json:"stages"`
+	// TopFrames are the N slowest frames with per-frame attribution,
+	// slowest first.
+	TopFrames []prof.FrameReport `json:"topFrames,omitempty"`
+}
+
+func (s *server) getProfile(w http.ResponseWriter, _ *http.Request) {
+	frameLatency, stages := prof.StageBreakdown()
+	if stages == nil {
+		stages = []prof.StageSummary{}
+	}
+	out := profileOut{FrameLatency: frameLatency, Stages: stages}
+	if ld := prof.Active(); ld != nil {
+		sum := ld.Summary()
+		out.Enabled = true
+		out.BudgetNs = sum.BudgetNs
+		out.Summary = &sum
+		out.TopFrames = ld.TopFrames()
+	}
+	writeJSON(w, http.StatusOK, out)
+}

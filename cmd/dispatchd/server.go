@@ -15,6 +15,7 @@ import (
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/obs"
+	"stabledispatch/internal/prof"
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/slo"
 	"stabledispatch/internal/stats"
@@ -142,6 +143,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/explain/{id}", s.getExplain)
 	mux.HandleFunc("GET /v1/frames/{n}/stability", s.getStability)
 	mux.HandleFunc("GET /v1/slo", s.getSLO)
+	mux.HandleFunc("GET /v1/profile", s.getProfile)
 	mux.HandleFunc("POST /v1/debug/bundle", s.postBundle)
 	mux.HandleFunc("GET /healthz", s.getHealth)
 	return mux
@@ -361,52 +363,17 @@ func (s *server) getTaxis(w http.ResponseWriter, _ *http.Request) {
 }
 
 type reportOut struct {
-	Algorithm         string     `json:"algorithm"`
-	Frame             int        `json:"frame"`
-	Requests          int        `json:"requests"`
-	Served            int        `json:"served"`
-	Episodes          int        `json:"episodes"`
-	SharedRides       int        `json:"sharedRides"`
-	MeanDelayMinutes  float64    `json:"meanDelayMinutes"`
-	MeanPassengerDiss float64    `json:"meanPassengerDissKm"`
-	MeanTaxiDiss      float64    `json:"meanTaxiDissKm"`
-	FrameLatency      *stageOut  `json:"frameLatency,omitempty"`
-	Stages            []stageOut `json:"stages,omitempty"`
-}
-
-// stageOut summarises one dispatch-pipeline stage histogram (times in
-// seconds, from the process-wide obs registry).
-type stageOut struct {
-	Stage        string  `json:"stage"`
-	Count        uint64  `json:"count"`
-	TotalSeconds float64 `json:"totalSeconds"`
-	P50Seconds   float64 `json:"p50Seconds"`
-	P95Seconds   float64 `json:"p95Seconds"`
-	P99Seconds   float64 `json:"p99Seconds"`
-}
-
-func summaryToStage(name string, hs obs.HistogramSummary) stageOut {
-	return stageOut{
-		Stage:        name,
-		Count:        hs.Count,
-		TotalSeconds: hs.Sum,
-		P50Seconds:   hs.P50,
-		P95Seconds:   hs.P95,
-		P99Seconds:   hs.P99,
-	}
-}
-
-// stageBreakdown reads the dispatch-stage and per-frame latency
-// histograms out of the obs registry for the report payload.
-func stageBreakdown() (frame *stageOut, stages []stageOut) {
-	for _, hs := range obs.HistogramSummaries("dispatch_stage_seconds") {
-		stages = append(stages, summaryToStage(hs.Label("stage"), hs))
-	}
-	for _, hs := range obs.HistogramSummaries("sim_dispatch_frame_seconds") {
-		out := summaryToStage("frame", hs)
-		frame = &out
-	}
-	return frame, stages
+	Algorithm         string              `json:"algorithm"`
+	Frame             int                 `json:"frame"`
+	Requests          int                 `json:"requests"`
+	Served            int                 `json:"served"`
+	Episodes          int                 `json:"episodes"`
+	SharedRides       int                 `json:"sharedRides"`
+	MeanDelayMinutes  float64             `json:"meanDelayMinutes"`
+	MeanPassengerDiss float64             `json:"meanPassengerDissKm"`
+	MeanTaxiDiss      float64             `json:"meanTaxiDissKm"`
+	FrameLatency      *prof.StageSummary  `json:"frameLatency,omitempty"`
+	Stages            []prof.StageSummary `json:"stages,omitempty"`
 }
 
 func (s *server) getReport(w http.ResponseWriter, _ *http.Request) {
@@ -414,7 +381,9 @@ func (s *server) getReport(w http.ResponseWriter, _ *http.Request) {
 	rep := s.sim.Snapshot()
 	frame := s.sim.Frame()
 	s.mu.Unlock()
-	frameLatency, stages := stageBreakdown()
+	// One read path for stage aggregation across the whole stack:
+	// prof.StageBreakdown also feeds /v1/profile and taxisim's summary.
+	frameLatency, stages := prof.StageBreakdown()
 	writeJSON(w, http.StatusOK, reportOut{
 		Algorithm:         rep.Algorithm,
 		Frame:             frame,

@@ -12,7 +12,7 @@ package main
 //	event: snapshot          once, immediately after connect
 //	data: {...}
 //
-//	event: kpi|slo|admission|events|notice
+//	event: kpi|slo|admission|events|notice|prof
 //	id: <hub sequence number>
 //	data: {...}
 //
@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"time"
 
+	"stabledispatch/internal/prof"
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/slo"
 	"stabledispatch/internal/stream"
@@ -85,6 +86,9 @@ type streamSnapshot struct {
 	Admission *admissionSnapshot `json:"admission,omitempty"`
 	// Events is the retained lifecycle-event tail, oldest first.
 	Events []sim.Event `json:"events,omitempty"`
+	// Prof is the frame-budget profiler's run-cumulative stage ledger
+	// (absent when the ledger is not installed).
+	Prof *prof.Summary `json:"prof,omitempty"`
 }
 
 // admissionSnapshot mirrors the admission controller's gauges.
@@ -130,6 +134,12 @@ func (s *server) snapshot(topics map[stream.Topic]bool) streamSnapshot {
 			tail = tail[len(tail)-snapshotEventTail:]
 		}
 		snap.Events = tail
+	}
+	if topics[stream.TopicProf] {
+		if ld := prof.Active(); ld != nil {
+			sum := ld.Summary()
+			snap.Prof = &sum
+		}
 	}
 	return snap
 }

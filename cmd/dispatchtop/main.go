@@ -1,8 +1,9 @@
 // Command dispatchtop is an htop-style live console for a running
 // dispatchd: one SSE connection to /v1/stream drives sparklines of the
-// per-frame KPIs, the SLO alert table with fast/slow burn values,
-// admission gauges with shed counts, and a rolling tail of lifecycle
-// events and operator notices.
+// per-frame KPIs, the per-stage frame-budget attribution with overrun
+// flags, the SLO alert table with fast/slow burn values, admission
+// gauges with shed counts, and a rolling tail of lifecycle events and
+// operator notices.
 //
 //	dispatchtop                          # console against localhost:8080
 //	dispatchtop -url http://host:8080
@@ -41,7 +42,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dispatchtop", flag.ContinueOnError)
 	var (
 		base      = fs.String("url", "http://localhost:8080", "dispatchd base URL")
-		topics    = fs.String("topics", "", "comma-separated topic filter (kpi,slo,admission,events,notice; empty = all)")
+		topics    = fs.String("topics", "", "comma-separated topic filter (kpi,slo,admission,events,notice,prof; empty = all)")
 		once      = fs.Bool("once", false, "render one frame to stdout and exit (headless/CI mode)")
 		wait      = fs.Duration("wait", 0, "with -once: consume the live feed this long before rendering")
 		refresh   = fs.Duration("refresh", 500*time.Millisecond, "live-mode repaint interval")

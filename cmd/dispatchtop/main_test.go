@@ -46,7 +46,9 @@ const testSnapshot = `{"frame":5,"topics":["kpi","slo","admission","events","not
 	`{"frame":5,"delayMean":1.2,"delayP95":2.5,"served":12,"queued":1,"frameNs":1100000}],` +
 	`"slo":[{"name":"p95-delay","expr":"p95(delay) <= 8","state":"ok","fast":3,"slow":2.8}],` +
 	`"admission":{"queueDepth":3,"inflight":7,"accepted":42},` +
-	`"events":[{"frame":5,"kind":"assign","requestId":9,"taxiId":1}]}`
+	`"events":[{"frame":5,"kind":"assign","requestId":9,"taxiId":1}],` +
+	`"prof":{"frames":5,"budgetNs":50000000,"overruns":1,"captures":1,"suppressed":0,` +
+	`"avgWallNs":1150000,"avgAllocs":900,"stages":[]}}`
 
 func TestModelApplyAndRender(t *testing.T) {
 	m := newModel(16)
@@ -57,7 +59,10 @@ func TestModelApplyAndRender(t *testing.T) {
 		sse("admission", 13, `{"kind":"shed","id":-1,"reason":"queue_full","queueDepth":64,"inflight":80}`),
 		sse("events", 14, `{"frame":6,"kind":"pickup","requestId":9,"taxiId":1}`),
 		sse("notice", 15, `{"kind":"degrade","frame":6,"detail":"nstd-p degraded to greedy (deadline)"}`),
-		": heartbeat seq=15\n\n",
+		sse("prof", 16, `{"frame":6,"wallNs":90000000,"allocs":1200,"overrun":true,"stageSumNs":85000000,`+
+			`"stages":[{"stage":"matching","ns":70000000,"calls":1,"share":0.78},`+
+			`{"stage":"cost_plane","ns":15000000,"calls":1,"share":0.17}]}`),
+		": heartbeat seq=16\n\n",
 	)))
 	for {
 		ev, err := r.ReadEvent()
@@ -82,14 +87,22 @@ func TestModelApplyAndRender(t *testing.T) {
 	if m.heartbeats != 1 {
 		t.Fatalf("heartbeats = %d, want 1", m.heartbeats)
 	}
-	if m.seq != 15 {
-		t.Fatalf("seq = %d, want 15", m.seq)
+	if m.seq != 16 {
+		t.Fatalf("seq = %d, want 16", m.seq)
+	}
+	if m.prof == nil || m.prof.Frame != 6 {
+		t.Fatalf("prof frame report = %+v, want frame 6", m.prof)
+	}
+	// 1 overrun from the snapshot summary + 1 live overrun frame.
+	if m.overruns != 2 {
+		t.Fatalf("overruns = %d, want 2", m.overruns)
 	}
 
 	out := render(m, 100, palette{on: false})
 	for _, want := range []string{
 		"frame 6", "delay mean", "p95-delay", "warning",
 		"queue_full=1", "pickup", "degrade", "nstd-p degraded",
+		"stages", "matching", "OVERRUN", "overruns 2", "captures 1", "budget 50.00ms",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render output missing %q:\n%s", want, out)
@@ -149,5 +162,36 @@ func TestRunOnceConnectFailure(t *testing.T) {
 	defer ts.Close()
 	if err := run([]string{"-once", "-url", ts.URL}, &strings.Builder{}); err == nil {
 		t.Fatal("run succeeded against a 400 endpoint")
+	}
+}
+
+// TestRenderStagePanelFromSnapshot pins the -once path: with a profiler
+// summary from the snapshot but no live prof event yet, the stage panel
+// renders the cumulative per-frame averages instead of disappearing.
+func TestRenderStagePanelFromSnapshot(t *testing.T) {
+	m := newModel(16)
+	snap := `{"frame":5,"topics":["prof"],` +
+		`"prof":{"frames":4,"budgetNs":50000000,"overruns":0,"captures":0,"suppressed":0,` +
+		`"avgWallNs":2000000,"avgAllocs":100,` +
+		`"stages":[{"stage":"matching","ns":4000000,"calls":4,"share":0.5}]}}`
+	r := stream.NewReader(strings.NewReader(sse("snapshot", 0, snap)))
+	ev, err := r.ReadEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.apply(ev)
+	if m.prof != nil {
+		t.Fatal("no live prof event was fed, but model has one")
+	}
+	out := render(m, 100, palette{})
+	if !strings.Contains(out, "4 frames  avg wall 2.00ms") {
+		t.Fatalf("snapshot stage header missing:\n%s", out)
+	}
+	// 4ms cumulative over 4 frames = 1ms per frame.
+	if !strings.Contains(out, "matching") || !strings.Contains(out, "1.000ms") {
+		t.Fatalf("per-frame stage row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "budget 50.00ms") {
+		t.Fatalf("budget summary line missing:\n%s", out)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"stabledispatch/internal/prof"
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/slo"
 	"stabledispatch/internal/stream"
@@ -25,6 +26,7 @@ type snapshot struct {
 	SLO       []slo.Status     `json:"slo"`
 	Admission *admissionGauges `json:"admission"`
 	Events    []sim.Event      `json:"events"`
+	Prof      *prof.Summary    `json:"prof"`
 }
 
 // admissionGauges mirrors the snapshot's admission section.
@@ -78,6 +80,11 @@ type model struct {
 	lastIntake int
 	events     []sim.Event
 	notices    []stream.Notice
+	// prof is the latest frame's per-stage cost attribution from the
+	// prof topic; profSum the run-cumulative ledger from the snapshot.
+	prof     *prof.FrameReport
+	profSum  *prof.Summary
+	overruns int64
 
 	// Connection accounting for the status line.
 	seq        uint64
@@ -126,6 +133,10 @@ func (m *model) apply(ev stream.Event) {
 			}
 			m.events = append(m.events[:0], s.Events...)
 			m.trimTails()
+			if s.Prof != nil {
+				m.profSum = s.Prof
+				m.overruns = s.Prof.Overruns
+			}
 		}
 	case "kpi":
 		var s tseries.Sample
@@ -182,6 +193,17 @@ func (m *model) apply(ev stream.Event) {
 		if m.decode(ev.Data, &n) {
 			m.notices = append(m.notices, n)
 			m.trimTails()
+		}
+	case "prof":
+		var fr prof.FrameReport
+		if m.decode(ev.Data, &fr) {
+			m.prof = &fr
+			if fr.Frame > m.frame {
+				m.frame = fr.Frame
+			}
+			if fr.Overrun {
+				m.overruns++
+			}
 		}
 	}
 }

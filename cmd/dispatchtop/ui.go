@@ -51,6 +51,22 @@ func sparkline(vals []float64, width int) string {
 	return b.String()
 }
 
+// shareBar renders a 0..1 share as a fixed-width solid bar: the stage
+// panel's at-a-glance view of where the frame's budget went.
+func shareBar(share float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	n := int(share*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}
+
 // ANSI helpers; colors degrade to plain text when disabled (-no-color
 // and -once default to plain so artifacts and pipes stay readable).
 type palette struct{ on bool }
@@ -135,6 +151,47 @@ func render(m *model, width int, p palette) string {
 		}
 	} else {
 		b.WriteString(p.dim("  no KPI samples yet (daemon started with -kpi-capacity 0?)") + "\n")
+	}
+
+	// Stage-latency panel: the latest frame's per-stage cost attribution
+	// from the frame-budget profiler; before the first live prof event
+	// (e.g. -once right after connect) the snapshot's cumulative shares
+	// stand in.
+	if m.prof != nil || m.profSum != nil {
+		if fr := m.prof; fr != nil {
+			tag := ""
+			if fr.Overrun {
+				tag = "  " + p.paint("31;1", "OVERRUN")
+			}
+			fmt.Fprintf(&b, "\n%s  f%d  wall %.2fms%s\n",
+				p.bold("  stages"), fr.Frame, float64(fr.WallNs)/1e6, tag)
+			for _, st := range fr.Stages {
+				fmt.Fprintf(&b, "  %-13s %s %8.3fms %4.0f%%\n",
+					st.Stage, shareBar(st.Share, 20), float64(st.Ns)/1e6, st.Share*100)
+			}
+		} else {
+			sum := m.profSum
+			fmt.Fprintf(&b, "\n%s  %d frames  avg wall %.2fms\n",
+				p.bold("  stages"), sum.Frames, float64(sum.AvgWallNs)/1e6)
+			for _, st := range sum.Stages {
+				perFrame := float64(st.Ns)
+				if sum.Frames > 0 {
+					perFrame /= float64(sum.Frames)
+				}
+				fmt.Fprintf(&b, "  %-13s %s %8.3fms %4.0f%%\n",
+					st.Stage, shareBar(st.Share, 20), perFrame/1e6, st.Share*100)
+			}
+		}
+		if sum := m.profSum; sum != nil || m.overruns > 0 {
+			line := fmt.Sprintf("  overruns %d", m.overruns)
+			if sum != nil {
+				if sum.BudgetNs > 0 {
+					line += fmt.Sprintf("  budget %.2fms", float64(sum.BudgetNs)/1e6)
+				}
+				line += fmt.Sprintf("  captures %d  suppressed %d", sum.Captures, sum.Suppressed)
+			}
+			b.WriteString(p.dim(line) + "\n")
+		}
 	}
 
 	// SLO table: state with fast/slow burn values.

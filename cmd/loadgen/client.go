@@ -42,6 +42,11 @@ type sendResult struct {
 	id       int
 	sentAt   time.Time
 	retries  int
+	// admitWait is the admission wait: first POST attempt → the 201,
+	// spanning every shed/backoff cycle in between. sentAt, by
+	// contrast, restarts per attempt — it anchors request→assignment
+	// from the accepted POST, not from the first try.
+	admitWait time.Duration
 }
 
 type wireRequest struct {
@@ -73,6 +78,7 @@ func (c *client) send(r fleet.Request, jit *jitter) sendResult {
 		return sendResult{}
 	}
 	res := sendResult{}
+	firstAt := time.Now()
 	for attempt := 0; ; attempt++ {
 		res.sentAt = time.Now()
 		status, retryAfter, id, err := c.post(body)
@@ -80,6 +86,7 @@ func (c *client) send(r fleet.Request, jit *jitter) sendResult {
 		case err == nil && status == http.StatusCreated:
 			res.accepted = true
 			res.id = id
+			res.admitWait = time.Since(firstAt)
 			return res
 		case status == http.StatusTooManyRequests, status == http.StatusServiceUnavailable:
 			res.shed = true

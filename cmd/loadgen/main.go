@@ -310,16 +310,17 @@ func (c *collector) sweep(outstanding map[int]time.Time) {
 
 // aggregate is the thread-safe run tally the report is built from.
 type aggregate struct {
-	mu        sync.Mutex
-	accepted  int
-	shed      int
-	drainShed int
-	errors    int
-	retries   int
-	assigned  int
-	lost      int
-	timedOut  int
-	latencies []float64 // seconds, enqueue → observed assignment
+	mu         sync.Mutex
+	accepted   int
+	shed       int
+	drainShed  int
+	errors     int
+	retries    int
+	assigned   int
+	lost       int
+	timedOut   int
+	latencies  []float64 // seconds, enqueue → observed assignment
+	admitWaits []float64 // seconds, first POST attempt → accepted
 }
 
 func (a *aggregate) note(r sendResult) {
@@ -329,6 +330,7 @@ func (a *aggregate) note(r sendResult) {
 	switch {
 	case r.accepted:
 		a.accepted++
+		a.admitWaits = append(a.admitWaits, r.admitWait.Seconds())
 	case r.shed && r.draining:
 		a.drainShed++
 	case r.shed:
@@ -385,6 +387,15 @@ func (a *aggregate) report(elapsed time.Duration) *report {
 			P50Seconds: quantile(lat, 0.50),
 			P95Seconds: quantile(lat, 0.95),
 			P99Seconds: quantile(lat, 0.99),
+		}
+	}
+	if len(a.admitWaits) > 0 {
+		aw := append([]float64(nil), a.admitWaits...)
+		sort.Float64s(aw)
+		rep.AdmitWait = &latencyOut{
+			P50Seconds: quantile(aw, 0.50),
+			P95Seconds: quantile(aw, 0.95),
+			P99Seconds: quantile(aw, 0.99),
 		}
 	}
 	return rep

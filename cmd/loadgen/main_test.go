@@ -95,6 +95,9 @@ func TestReplayAllAccepted(t *testing.T) {
 	if rep.Latency == nil || rep.Latency.P99Seconds < rep.Latency.P50Seconds {
 		t.Fatalf("latency summary malformed: %+v", rep.Latency)
 	}
+	if rep.AdmitWait == nil || rep.AdmitWait.P99Seconds < rep.AdmitWait.P50Seconds {
+		t.Fatalf("admission wait summary malformed: %+v", rep.AdmitWait)
+	}
 	if err := rep.gate(0.5, 20); err != nil {
 		t.Fatalf("gate should pass: %v", err)
 	}
@@ -117,6 +120,38 @@ func TestRetryAfterShedThenAccept(t *testing.T) {
 	}
 	if rep.Shed != 0 {
 		t.Fatalf("shed=%d, want 0 after retries", rep.Shed)
+	}
+	// Two requests rode through a shed + backoff before their 201, so
+	// the slowest admission wait must show the backoff that the slowest
+	// single accepted POST (request→assignment anchor) does not.
+	if rep.AdmitWait == nil {
+		t.Fatal("admission wait summary missing")
+	}
+	if rep.AdmitWait.P99Seconds <= 0 {
+		t.Fatalf("admission wait p99 = %v, want > 0 (backoff spanned)", rep.AdmitWait.P99Seconds)
+	}
+}
+
+// TestAdmitWaitSpansRetries pins the admission-wait anchor: sentAt
+// restarts on every attempt (request→assignment measures from the
+// accepted POST), while admitWait spans the whole shed/backoff chain
+// from the first attempt.
+func TestAdmitWaitSpansRetries(t *testing.T) {
+	stub := newStub(1, "") // first POST sheds, retry accepted
+	srv := httptest.NewServer(stub.mux)
+	defer srv.Close()
+
+	backoff := 50 * time.Millisecond
+	cl := newClient(srv.URL, time.Second, 1, backoff)
+	res := cl.send(testRequests(1)[0], newJitter(1))
+	if !res.accepted || res.retries != 1 {
+		t.Fatalf("send = %+v, want accepted after one retry", res)
+	}
+	if res.admitWait < backoff {
+		t.Fatalf("admitWait %v shorter than the backoff %v it slept", res.admitWait, backoff)
+	}
+	if got := time.Since(res.sentAt); got > res.admitWait {
+		t.Fatalf("sentAt spans the backoff (%v > admitWait %v): per-attempt anchor broken", got, res.admitWait)
 	}
 }
 

@@ -42,6 +42,11 @@ type report struct {
 	// rejection fraction, the quantity the -max-shed-rate gate bounds.
 	ShedRate float64     `json:"shedRate"`
 	Latency  *latencyOut `json:"requestToAssignment,omitempty"`
+	// AdmitWait is the admission wait: first POST attempt → accepted
+	// 201, including every shed/backoff cycle. Against Latency it
+	// separates "the front door was slow to let me in" from "dispatch
+	// was slow to match me".
+	AdmitWait *latencyOut `json:"requestToAccepted,omitempty"`
 }
 
 // latencyOut is the client-observed enqueue→assignment latency summary.

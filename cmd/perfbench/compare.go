@@ -4,13 +4,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"sort"
 
 	"stabledispatch/internal/stats"
 )
 
 // benchSchema versions the benchmark file format; bump on any field
 // change so a gate never silently compares incompatible runs.
-const benchSchema = "stabledispatch-bench-1"
+// v2: per-stage ns/frame attribution on every cell, plus the serve/
+// family with admission funnel counts.
+const benchSchema = "stabledispatch-bench-2"
 
 // benchFile is the machine-readable output of one perfbench run.
 type benchFile struct {
@@ -36,6 +39,15 @@ type scenarioResult struct {
 	NsPerFrame     float64 `json:"nsPerFrame"`
 	AllocsPerFrame float64 `json:"allocsPerFrame"`
 	RingBytes      int     `json:"ringBytes"`
+
+	// StageNsPerFrame attributes the frame cost to pipeline stages
+	// (average ns/frame by stage), measured by the frame-budget
+	// profiler's ledger.
+	StageNsPerFrame map[string]float64 `json:"stageNsPerFrame,omitempty"`
+
+	// Admission funnel counts (serve/ family only).
+	Accepted int `json:"accepted,omitempty"`
+	Shed     int `json:"shed,omitempty"`
 
 	// End-of-run KPIs (the paper's quality metrics).
 	KPIs kpiResult `json:"kpis"`
@@ -66,6 +78,10 @@ func defaultThresholds() thresholds {
 	return thresholds{Ns: 0.5, Alloc: 0.2, KPI: 0.1}
 }
 
+// stageNsGateFloor is the per-stage ns/frame below which a stage is
+// too cheap to time reliably and is excluded from the gate.
+const stageNsGateFloor = 2000.0
+
 // metric describes one compared quantity: how to read it from a
 // scenario and which direction is a regression.
 type metric struct {
@@ -88,6 +104,11 @@ var metrics = []metric{
 	{"delay_p95", func(s scenarioResult) float64 { return s.KPIs.DelayP95 }, true, func(t thresholds) float64 { return t.KPI }},
 	{"pass_diss_mean", func(s scenarioResult) float64 { return s.KPIs.PassDissMean }, true, func(t thresholds) float64 { return t.KPI }},
 	{"taxi_diss_mean", func(s scenarioResult) float64 { return s.KPIs.TaxiDissMean }, true, func(t thresholds) float64 { return t.KPI }},
+	// Shed is deterministic (in-process admission over a seeded
+	// workload), so more shedding means the serve path got slower at
+	// draining its queue or the workload shifted — either is a
+	// regression. Accepted mirrors it and is deliberately absent.
+	{"shed", func(s scenarioResult) float64 { return float64(s.Shed) }, true, func(t thresholds) float64 { return t.KPI }},
 }
 
 // delta is one (scenario, metric) comparison against the baseline.
@@ -130,7 +151,43 @@ func compare(cur, base benchFile, th thresholds) []delta {
 			d.Regressed = d.Frac > d.Threshold
 			out = append(out, d)
 		}
+		// Per-stage ns/frame rows are dynamic: compare every stage
+		// present on both sides (same like-with-like rule as scenarios),
+		// under the wall-clock budget since stage time is wall time.
+		for _, stage := range commonStages(b.StageNsPerFrame, s.StageNsPerFrame) {
+			oldV, newV := b.StageNsPerFrame[stage], s.StageNsPerFrame[stage]
+			// Sub-floor stages (commit at quick scale averages a few
+			// hundred ns) are pure timer noise: a scheduler hiccup can
+			// move them 10x run to run. Gate a stage only once either
+			// side spends real time in it.
+			if oldV < stageNsGateFloor && newV < stageNsGateFloor {
+				continue
+			}
+			d := delta{
+				Scenario:  s.Name,
+				Metric:    "stage_ns/" + stage,
+				Base:      oldV,
+				New:       newV,
+				Frac:      worseFrac(oldV, newV, true),
+				Threshold: th.Ns,
+			}
+			d.Regressed = d.Frac > d.Threshold
+			out = append(out, d)
+		}
 	}
+	return out
+}
+
+// commonStages returns the stage names present in both maps, sorted for
+// a stable delta table.
+func commonStages(a, b map[string]float64) []string {
+	var out []string
+	for k := range a {
+		if _, ok := b[k]; ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"stabledispatch/internal/dispatch"
 	"stabledispatch/internal/exp"
+	"stabledispatch/internal/prof"
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/trace"
@@ -145,6 +146,11 @@ func runScenario(sc scenario, replicas int, progress io.Writer) (scenarioResult,
 		defer debug.SetGCPercent(debug.SetGCPercent(-1))
 		defer runtime.GC()
 	}
+	// The ledger attributes each frame's cost to pipeline stages; its
+	// recording path is allocation-free, so the alloc numbers it rides
+	// along with are undisturbed.
+	ld := prof.Configure(prof.Config{TopN: 4})
+	defer prof.Disable()
 	res := scenarioResult{
 		Name:     sc.name,
 		Algo:     sc.algo,
@@ -221,6 +227,7 @@ func runScenario(sc scenario, replicas int, progress io.Writer) (scenarioResult,
 	res.KPIs.DelayP95 /= n
 	res.KPIs.PassDissMean /= n
 	res.KPIs.TaxiDissMean /= n
+	res.StageNsPerFrame = stageNsPerFrame(ld.Summary())
 	if progress != nil {
 		fmt.Fprintf(progress, "perfbench: %-14s %6d frames  %8.2f ms/frame  served %.0f\n",
 			sc.name, res.Frames, res.NsPerFrame/1e6, res.KPIs.Served)
@@ -239,6 +246,13 @@ func run(args []string, out io.Writer) error {
 	}
 	for _, sc := range matrix(cfg.quick, cfg.ov) {
 		res, err := runScenario(sc, cfg.replicas, os.Stderr)
+		if err != nil {
+			return err
+		}
+		file.Scenarios = append(file.Scenarios, res)
+	}
+	for _, sc := range serveMatrix(cfg.ov) {
+		res, err := runServeScenario(sc, cfg.replicas, os.Stderr)
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,7 @@ func sampleResult(name string) scenarioResult {
 		Seed: 42, Replicas: 1,
 		Frames: 120, Requests: 100, Taxis: 20,
 		NsPerFrame: 1e6, AllocsPerFrame: 5000, RingBytes: 1 << 16,
+		StageNsPerFrame: map[string]float64{"matching": 6e5, "cost_plane": 2e5},
 		KPIs: kpiResult{
 			Served: 90, DelayMean: 2, DelayP95: 6,
 			PassDissMean: 1.5, TaxiDissMean: 2.5,
@@ -83,8 +84,51 @@ func TestCompareSkipsUnmatchedScenarios(t *testing.T) {
 			t.Errorf("compared unmatched scenario %s", d.Scenario)
 		}
 	}
-	if len(ds) != len(metrics) {
-		t.Errorf("%d deltas, want %d (one scenario)", len(ds), len(metrics))
+	if want := len(metrics) + 2; len(ds) != want {
+		t.Errorf("%d deltas, want %d (one scenario, two shared stages)", len(ds), want)
+	}
+}
+
+// TestCompareGatesStageRegression checks a per-stage slowdown past the
+// wall-clock budget is flagged under its own stage_ns/ metric, and a
+// stage present on only one side is skipped.
+func TestCompareGatesStageRegression(t *testing.T) {
+	base := sampleFile("serve/nstd-p")
+	th := defaultThresholds()
+
+	slow := sampleFile("serve/nstd-p")
+	slow.Scenarios[0].StageNsPerFrame["matching"] *= 1 + th.Ns + 0.1
+	ds := compare(slow, base, th)
+	if n := regressionCount(ds); n != 1 {
+		t.Fatalf("injected stage regression: %d flagged, want 1", n)
+	}
+	for _, d := range ds {
+		if d.Regressed && d.Metric != "stage_ns/matching" {
+			t.Errorf("wrong metric flagged: %s", d.Metric)
+		}
+	}
+
+	// A stage appearing only in the new run has no baseline to gate
+	// against and is skipped, like an unmatched scenario.
+	grew := sampleFile("serve/nstd-p")
+	grew.Scenarios[0].StageNsPerFrame["commit"] = 9e9
+	if n := regressionCount(compare(grew, base, th)); n != 0 {
+		t.Errorf("one-sided stage gated: %d regressions", n)
+	}
+
+	// Stages below the timing-noise floor on both sides are never
+	// gated, however large the ratio; crossing the floor is.
+	noisyBase := sampleFile("serve/nstd-p")
+	noisyBase.Scenarios[0].StageNsPerFrame["commit"] = 50
+	noisy := sampleFile("serve/nstd-p")
+	noisy.Scenarios[0].StageNsPerFrame["commit"] = 50 * 20
+	if n := regressionCount(compare(noisy, noisyBase, th)); n != 0 {
+		t.Errorf("sub-floor stage noise gated: %d regressions", n)
+	}
+	blewUp := sampleFile("serve/nstd-p")
+	blewUp.Scenarios[0].StageNsPerFrame["commit"] = stageNsGateFloor * 100
+	if n := regressionCount(compare(blewUp, noisyBase, th)); n != 1 {
+		t.Errorf("stage blow-up past the floor: %d regressions, want 1", n)
 	}
 }
 
@@ -144,9 +188,10 @@ func TestRunWritesBenchFile(t *testing.T) {
 	if f.Schema != benchSchema {
 		t.Errorf("schema %q", f.Schema)
 	}
-	if len(f.Scenarios) != 4 {
-		t.Fatalf("%d scenarios, want 4 quick rows", len(f.Scenarios))
+	if len(f.Scenarios) != 7 {
+		t.Fatalf("%d scenarios, want 4 quick + 3 serve rows", len(f.Scenarios))
 	}
+	serveCells := 0
 	for _, s := range f.Scenarios {
 		if s.NsPerFrame <= 0 || s.Frames < 10 || s.Taxis <= 0 {
 			t.Errorf("%s: implausible measurements %+v", s.Name, s)
@@ -156,6 +201,36 @@ func TestRunWritesBenchFile(t *testing.T) {
 		}
 		if s.Seed != 42 || s.Replicas != 1 {
 			t.Errorf("%s: provenance seed=%d replicas=%d", s.Name, s.Seed, s.Replicas)
+		}
+		// Every cell carries the ledger's per-stage attribution, and the
+		// attributed time must fit inside the measured frame cost.
+		var stageSum float64
+		for _, ns := range s.StageNsPerFrame {
+			stageSum += ns
+		}
+		if len(s.StageNsPerFrame) == 0 || s.StageNsPerFrame["matching"] <= 0 {
+			t.Errorf("%s: missing per-stage attribution %v", s.Name, s.StageNsPerFrame)
+		}
+		if stageSum > s.NsPerFrame {
+			t.Errorf("%s: stage ns sum %.0f exceeds ns/frame %.0f", s.Name, stageSum, s.NsPerFrame)
+		}
+		if s.Scale == "serve" {
+			serveCells++
+			if s.Accepted <= 0 {
+				t.Errorf("%s: admission accepted %d, want > 0", s.Name, s.Accepted)
+			}
+			if s.Accepted+s.Shed != s.Requests {
+				t.Errorf("%s: accepted %d + shed %d != requests %d", s.Name, s.Accepted, s.Shed, s.Requests)
+			}
+		}
+	}
+	if serveCells != 3 {
+		t.Errorf("serve cells = %d, want 3", serveCells)
+	}
+	// The overload cell's tight intake queue must actually shed.
+	for _, s := range f.Scenarios {
+		if s.Name == "serve/nstd-p-overload" && s.Shed == 0 {
+			t.Errorf("overload cell shed nothing (queueCap not biting)")
 		}
 	}
 }

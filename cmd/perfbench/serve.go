@@ -1,0 +1,209 @@
+package main
+
+// The serve/ scenario family benchmarks the daemon's serve path rather
+// than the bare simulator: each cell replays a generated workload
+// through an in-process admission controller (the loadgen → dispatchd
+// ingest contract) and advances frames the way dispatchd's tick loop
+// does — drain the admitted batch, inject, step. A frame-budget
+// profiler ledger runs underneath, so every cell also reports where the
+// frame time went stage by stage.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"stabledispatch/internal/admission"
+	"stabledispatch/internal/exp"
+	"stabledispatch/internal/fleet"
+	"stabledispatch/internal/prof"
+	"stabledispatch/internal/sim"
+	"stabledispatch/internal/trace"
+	"stabledispatch/internal/tseries"
+)
+
+// serveScenario is one cell of the serve/ family.
+type serveScenario struct {
+	name string
+	algo string
+	opts exp.Options
+	// queueCap bounds the admission intake queue (0 = package default);
+	// the overload cell sets it tight so shedding cost is on the books.
+	queueCap int
+}
+
+// serveMatrix is the serve/ family: always quick scale, in both quick
+// and full runs — the family pins the serve path's shape, not
+// paper-scale wall clock.
+func serveMatrix(ov overrides) []serveScenario {
+	o := ov.apply(exp.QuickOptions())
+	return []serveScenario{
+		{name: "serve/nstd-p", algo: "nstd-p", opts: o},
+		{name: "serve/greedy", algo: "greedy", opts: o},
+		{name: "serve/nstd-p-overload", algo: "nstd-p", opts: o, queueCap: 1},
+	}
+}
+
+// serveSink settles the admission in-flight ledger from simulator
+// lifecycle events, mirroring dispatchd's wiring.
+func serveSink(c *admission.Controller) sim.EventSink {
+	return sim.EventSinkFunc(func(e sim.Event) {
+		switch e.Kind {
+		case sim.EventAssign:
+			c.NoteAssigned(e.RequestID)
+		case sim.EventDropoff, sim.EventAbandon, sim.EventCancel:
+			c.NoteTerminal(e.RequestID)
+		case sim.EventRequeue, sim.EventRescue:
+			c.NoteRequeued(e.RequestID)
+		}
+	})
+}
+
+// stageNsPerFrame projects the ledger's cumulative stage costs into
+// average ns/frame, the unit the bench file gates on.
+func stageNsPerFrame(sum prof.Summary) map[string]float64 {
+	if sum.Frames == 0 || len(sum.Stages) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(sum.Stages))
+	for _, st := range sum.Stages {
+		out[st.Stage] = float64(st.Ns) / float64(sum.Frames)
+	}
+	return out
+}
+
+// runServeScenario replays one serve/ cell, averaging over replicas
+// with the same derived-seed stride as runScenario.
+func runServeScenario(sc serveScenario, replicas int, progress io.Writer) (scenarioResult, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	// Serve cells run at quick scale, so uncollected for the same
+	// reason quick sim cells do (see runScenario).
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	defer runtime.GC()
+	ld := prof.Configure(prof.Config{TopN: 4})
+	defer prof.Disable()
+	res := scenarioResult{
+		Name:     sc.name,
+		Algo:     sc.algo,
+		Scale:    "serve",
+		Seed:     sc.opts.Seed,
+		Replicas: replicas,
+	}
+	for r := 0; r < replicas; r++ {
+		o := sc.opts
+		o.Seed += int64(r) * 100003
+		reqs, taxis, err := exp.Workload(trace.Boston(), 13500, 200, o)
+		if err != nil {
+			return res, err
+		}
+		if len(reqs) == 0 {
+			return res, fmt.Errorf("%s: workload generated no requests", sc.name)
+		}
+		d, err := perfDispatcher(sc.algo, o.Theta)
+		if err != nil {
+			return res, err
+		}
+		adm := admission.New(admission.Config{QueueCap: sc.queueCap})
+		rec := tseries.New(tseries.Config{Capacity: 4*o.Frames + 64})
+		s, err := sim.New(sim.Config{
+			Params:         o.Params,
+			Dispatcher:     d,
+			PatienceFrames: o.PatienceMinutes,
+			KPI:            rec,
+			Workers:        o.Workers,
+			Events:         serveSink(adm),
+		}, taxis, nil)
+		if err != nil {
+			return res, err
+		}
+		// Requests arrive by issue frame, exactly as loadgen would POST
+		// them against the daemon's clock.
+		byFrame := make(map[int][]fleet.Request)
+		maxFrame := 0
+		for _, q := range reqs {
+			byFrame[q.Frame] = append(byFrame[q.Frame], q)
+			if q.Frame > maxFrame {
+				maxFrame = q.Frame
+			}
+		}
+		accepted, shed, frames := 0, 0, 0
+		limit := 4*o.Frames + 64
+		start := time.Now()
+		for frame := 0; frame < limit; frame++ {
+			for _, q := range byFrame[frame] {
+				if _, err := adm.Admit(q); err != nil {
+					shed++
+				} else {
+					accepted++
+				}
+			}
+			// dispatchd's stepLocked: drain the admitted batch in order,
+			// stamp the current frame, inject, then advance.
+			for _, q := range adm.TakeBatch() {
+				q.Frame = s.Frame()
+				if err := s.Inject(q); err != nil {
+					adm.NoteInjectFailure(q.ID)
+				}
+			}
+			if err := s.Step(); err != nil {
+				return res, err
+			}
+			frames++
+			if frame >= maxFrame {
+				c := s.Counts()
+				if c.Pending == 0 && c.Active == 0 && adm.QueueDepth() == 0 {
+					break
+				}
+			}
+		}
+		wall := time.Since(start)
+		samples := rec.Snapshot()
+		if len(samples) == 0 {
+			return res, fmt.Errorf("%s: no KPI samples recorded", sc.name)
+		}
+		var allocs float64
+		for _, smp := range samples {
+			allocs += float64(smp.Allocs)
+		}
+		last := samples[len(samples)-1]
+		res.Frames += frames
+		res.Requests += len(reqs)
+		res.Taxis = len(taxis)
+		res.Accepted += accepted
+		res.Shed += shed
+		res.NsPerFrame += float64(wall.Nanoseconds()) / float64(frames)
+		res.AllocsPerFrame += allocs / float64(len(samples))
+		res.RingBytes = rec.MemoryBytes()
+		res.KPIs.Served += float64(last.Served)
+		res.KPIs.Expired += float64(last.Expired)
+		res.KPIs.SharedRides += float64(last.SharedRides)
+		res.KPIs.DelayMean += last.DelayMean
+		res.KPIs.DelayP95 += last.DelayP95
+		res.KPIs.PassDissMean += last.PassDissMean
+		res.KPIs.TaxiDissMean += last.TaxiDissMean
+	}
+	n := float64(replicas)
+	res.Frames /= replicas
+	res.Requests /= replicas
+	res.Accepted /= replicas
+	res.Shed /= replicas
+	res.NsPerFrame /= n
+	res.AllocsPerFrame /= n
+	res.KPIs.Served /= n
+	res.KPIs.Expired /= n
+	res.KPIs.SharedRides /= n
+	res.KPIs.DelayMean /= n
+	res.KPIs.DelayP95 /= n
+	res.KPIs.PassDissMean /= n
+	res.KPIs.TaxiDissMean /= n
+	res.StageNsPerFrame = stageNsPerFrame(ld.Summary())
+	if progress != nil {
+		fmt.Fprintf(progress, "perfbench: %-20s %6d frames  %8.2f ms/frame  accepted %d  shed %d\n",
+			sc.name, res.Frames, res.NsPerFrame/1e6, res.Accepted, res.Shed)
+	}
+	return res, nil
+}

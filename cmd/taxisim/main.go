@@ -28,8 +28,8 @@ import (
 	"stabledispatch/internal/fault"
 	"stabledispatch/internal/fleet"
 	"stabledispatch/internal/flightrec"
-	"stabledispatch/internal/obs"
 	"stabledispatch/internal/pref"
+	"stabledispatch/internal/prof"
 	"stabledispatch/internal/share"
 	"stabledispatch/internal/sim"
 	"stabledispatch/internal/slo"
@@ -71,6 +71,9 @@ func run(args []string, out io.Writer) error {
 		cancelRate    = fs.Float64("cancel-rate", 0, "probability a passenger cancels before pickup")
 		driverCancel  = fs.Float64("driver-cancel-rate", 0, "probability a driver abandons an accepted fare before pickup")
 		frameDDL      = fs.Duration("frame-deadline", 0, "per-frame dispatch compute deadline; overruns and panics degrade to greedy (0 = unbounded)")
+		profBudget    = fs.Duration("prof-budget", 0, "frame deadline budget for the frame-budget profiler; overruns print in the run summary and, with -bundle-dir, capture pprof CPU/heap deltas into a flight-recorder bundle (0 = off)")
+		profCapt      = fs.Int("prof-capture-frames", prof.DefaultCaptureFrames, "frames the CPU profile spans after an overrun trigger")
+		profCool      = fs.Int64("prof-cooldown", prof.DefaultCooldownFrames, "minimum frames between two overrun captures; overruns inside it are counted, not captured")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -177,6 +180,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		defer flightrec.Disable()
+	}
+	if *profBudget > 0 {
+		profCfg := prof.Config{
+			BudgetNs:       profBudget.Nanoseconds(),
+			CaptureFrames:  *profCapt,
+			CooldownFrames: *profCool,
+		}
+		if *bundleDir != "" {
+			profCfg.OnCapture = flightrec.OverrunHandler()
+		}
+		prof.Configure(profCfg)
+		defer prof.Disable()
 	}
 	var reports []*sim.Report
 	var sloLines []string
@@ -404,14 +419,15 @@ func printSummary(w io.Writer, rep *sim.Report, total, taxis int) error {
 	return printStageTimings(w)
 }
 
-// printStageTimings renders the dispatch-pipeline stage histograms
-// recorded by internal/obs during the run. Only printed for single-
-// algorithm runs: the registry is process-wide, so a multi-algorithm
-// comparison would blend the algorithms' timings together.
+// printStageTimings renders the dispatch-pipeline stage timings via the
+// frame-budget profiler's shared read path (prof.StageBreakdown, the
+// same rollup behind dispatchd's /v1/report and /v1/profile). Only
+// printed for single-algorithm runs: the registry is process-wide, so a
+// multi-algorithm comparison would blend the algorithms' timings
+// together.
 func printStageTimings(w io.Writer) error {
-	summaries := obs.HistogramSummaries("dispatch_stage_seconds")
-	frames := obs.HistogramSummaries("sim_dispatch_frame_seconds")
-	if len(summaries) == 0 && len(frames) == 0 {
+	frame, stages := prof.StageBreakdown()
+	if frame == nil && len(stages) == 0 {
 		return nil
 	}
 	tb := stats.Table{
@@ -419,15 +435,27 @@ func printStageTimings(w io.Writer) error {
 		Columns: []string{"stage", "calls", "total ms", "p50 ms", "p95 ms", "p99 ms"},
 	}
 	ms := func(sec float64) string { return stats.F(sec * 1e3) }
-	add := func(name string, hs obs.HistogramSummary) {
-		tb.AddRow(name, fmt.Sprintf("%d", hs.Count),
-			ms(hs.Sum), ms(hs.P50), ms(hs.P95), ms(hs.P99))
+	add := func(name string, st prof.StageSummary) {
+		tb.AddRow(name, fmt.Sprintf("%d", st.Count),
+			ms(st.TotalSeconds), ms(st.P50Seconds), ms(st.P95Seconds), ms(st.P99Seconds))
 	}
-	for _, hs := range frames {
-		add("frame (total)", hs)
+	if frame != nil {
+		add("frame (total)", *frame)
 	}
-	for _, hs := range summaries {
-		add(hs.Label("stage"), hs)
+	for _, st := range stages {
+		add(st.Stage, st)
 	}
-	return tb.Render(w)
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	// With a budget set, the ledger's overrun accounting belongs in the
+	// summary: it is the line an operator greps after a slow run.
+	if ld := prof.Active(); ld != nil {
+		if sum := ld.Summary(); sum.BudgetNs > 0 {
+			_, err := fmt.Fprintf(w, "  frame budget %.2fms: %d overruns, %d pprof captures, %d suppressed\n",
+				float64(sum.BudgetNs)/1e6, sum.Overruns, sum.Captures, sum.Suppressed)
+			return err
+		}
+	}
+	return nil
 }

@@ -316,3 +316,58 @@ func TestKPIOutPath(t *testing.T) {
 		}
 	}
 }
+
+// TestRunProfBudgetCapturesOverrun runs with an impossible 1ns frame
+// budget so every frame overruns, and checks the profiler prints its
+// accounting line and ships exactly one rate-limited pprof capture into
+// a flight-recorder bundle.
+func TestRunProfBudgetCapturesOverrun(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{
+		"-algo", "greedy", "-taxis", "8", "-frames", "30",
+		"-volume", "1000", "-seed", "4",
+		"-prof-budget", "1ns", "-prof-capture-frames", "2",
+		"-prof-cooldown", "100000", "-bundle-dir", dir,
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run with prof budget: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "frame budget") || !strings.Contains(out, "1 pprof captures") {
+		t.Errorf("summary missing profiler accounting:\n%s", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overruns []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "frame_overrun") {
+			overruns = append(overruns, e.Name())
+		}
+	}
+	if len(overruns) != 1 {
+		t.Fatalf("overrun bundles = %v, want exactly 1 (cooldown rate limit)", overruns)
+	}
+	bdir := filepath.Join(dir, overruns[0])
+	raw, err := os.ReadFile(filepath.Join(bdir, "profile.json"))
+	if err != nil {
+		t.Fatalf("capture profile.json: %v", err)
+	}
+	var oc struct {
+		Schema  string `json:"schema"`
+		Trigger struct {
+			WallNs int64 `json:"wallNs"`
+		} `json:"trigger"`
+	}
+	if err := json.Unmarshal(raw, &oc); err != nil {
+		t.Fatalf("parse profile.json: %v", err)
+	}
+	if oc.Schema != "prof-capture/v1" || oc.Trigger.WallNs <= 0 {
+		t.Fatalf("profile.json = %+v", oc)
+	}
+	if _, err := os.Stat(filepath.Join(bdir, "heap.pprof")); err != nil {
+		t.Fatalf("heap delta missing from bundle: %v", err)
+	}
+}

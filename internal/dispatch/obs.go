@@ -1,6 +1,9 @@
 package dispatch
 
-import "stabledispatch/internal/obs"
+import (
+	"stabledispatch/internal/obs"
+	"stabledispatch/internal/prof"
+)
 
 // Stage timing for the dispatch pipeline, one histogram series per
 // stage of Algorithm 1/3 and the baselines:
@@ -36,5 +39,33 @@ var obsDegraded = map[string]*obs.Counter{
 	"error":    obs.GetOrCreateCounter(`dispatch_degraded_frames_total{reason="error"}`),
 }
 
-// stageTimer starts a span against one of the named stage histograms.
-func stageTimer(stage string) obs.Timer { return obs.StartTimer(stageHists[stage]) }
+// stageIdx maps the stage names to their prof ledger indices once, so
+// the hot path pays a map lookup it was already paying for the
+// histogram, not a linear name scan.
+var stageIdx = map[string]int{
+	"idle_scan":   prof.StageIdleScan,
+	"cost_plane":  prof.StageCostPlane,
+	"pref_build":  prof.StagePrefBuild,
+	"cost_matrix": prof.StageCostMatrix,
+	"matching":    prof.StageMatching,
+	"packing":     prof.StagePacking,
+}
+
+// stageSpan is one stage measurement feeding both views: the rolling
+// dispatch_stage_seconds histogram and, when a prof ledger is
+// installed, the current frame's cost ledger.
+type stageSpan struct {
+	t obs.Timer
+	p prof.Span
+}
+
+// ObserveDuration closes both sides of the span.
+func (s stageSpan) ObserveDuration() {
+	s.t.ObserveDuration()
+	s.p.End()
+}
+
+// stageTimer starts a span against one of the named pipeline stages.
+func stageTimer(stage string) stageSpan {
+	return stageSpan{t: obs.StartTimer(stageHists[stage]), p: prof.Begin(stageIdx[stage])}
+}

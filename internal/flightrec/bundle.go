@@ -86,6 +86,7 @@ type bundleSnapshot struct {
 	events     []EventRecord
 	suppressed uint64
 	sections   []manifestSection
+	attached   []Attachment
 }
 
 // sanitizeReason keeps bundle directory names shell-safe.
@@ -209,8 +210,19 @@ func (r *Recorder) writeBundle(snap bundleSnapshot) (string, error) {
 		}
 	}
 
+	// Trigger-site attachments (pprof captures from the frame-budget
+	// profiler). Attachments own their Files keys: a capture's
+	// stop-time heap profile supersedes the generic Heap option's.
+	for _, a := range snap.attached {
+		if a.Kind == "" || a.Name == "" || a.Fill == nil {
+			continue
+		}
+		keep(writeFile(dir, a.Name, a.Fill))
+		m.Files[a.Kind] = a.Name
+	}
+
 	// Optional: heap profile.
-	if r.cfg.Heap {
+	if r.cfg.Heap && m.Files["heap"] == "" {
 		keep(writeFile(dir, "heap.pprof", func(f *os.File) error {
 			return pprof.WriteHeapProfile(f)
 		}))

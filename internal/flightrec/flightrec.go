@@ -26,6 +26,7 @@
 package flightrec
 
 import (
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +51,9 @@ const (
 	// ReasonStability marks a frame whose stability certificate found
 	// blocking pairs.
 	ReasonStability Reason = "stability_violation"
+	// ReasonOverrun marks a frame that blew the frame-budget profiler's
+	// deadline budget; the bundle carries the capture's pprof evidence.
+	ReasonOverrun Reason = "frame_overrun"
 	// ReasonManual marks an operator-requested bundle.
 	ReasonManual Reason = "manual"
 )
@@ -303,6 +307,22 @@ func TriggerActive(frame int64, reason Reason, detail string) {
 // bypasses the cooldown but still counts toward retention. Write
 // failures are counted in flightrec_bundle_errors_total and returned.
 func (r *Recorder) Trigger(frame int64, reason Reason, detail string, force bool) (string, error) {
+	return r.TriggerFiles(frame, reason, detail, force, nil)
+}
+
+// Attachment is one extra payload file a trigger site ships with its
+// bundle (the frame-budget profiler attaches pprof captures this way).
+// Kind is the manifest Files key, Name the filename, and Fill writes
+// the contents.
+type Attachment struct {
+	Kind string
+	Name string
+	Fill func(*os.File) error
+}
+
+// TriggerFiles is Trigger with extra attachment files written into the
+// bundle directory and indexed in the manifest's Files map.
+func (r *Recorder) TriggerFiles(frame int64, reason Reason, detail string, force bool, attachments []Attachment) (string, error) {
 	r.mu.Lock()
 	// Cooldown: frames since the last automatic bundle. A frame counter
 	// that went backwards (a new run reusing the recorder) re-arms it.
@@ -325,6 +345,7 @@ func (r *Recorder) Trigger(frame int64, reason Reason, detail string, force bool
 		frames:     r.frameWindowLocked(),
 		events:     r.eventTailLocked(),
 		suppressed: r.suppressed,
+		attached:   attachments,
 	}
 	for _, k := range r.sectKeys {
 		snap.sections = append(snap.sections, manifestSection{key: k, fn: r.sections[k]})

@@ -1,0 +1,33 @@
+package prof
+
+import (
+	"bytes"
+	"io"
+	"runtime/pprof"
+)
+
+// startCPUProfile tries to start the process-wide CPU profiler into w,
+// reporting success. It fails gracefully when a profile is already
+// running (a live /debug/pprof/profile session owns the profiler); the
+// capture then ships without a CPU profile rather than aborting.
+func startCPUProfile(w io.Writer) bool {
+	return pprof.StartCPUProfile(w) == nil
+}
+
+// stopCPUProfile stops a profile started by startCPUProfile.
+func stopCPUProfile() { pprof.StopCPUProfile() }
+
+// heapProfile renders the current heap profile in pprof protobuf
+// format. A pre/post pair brackets a capture so the allocation delta is
+// recoverable offline (`go tool pprof -base heap_pre.pprof heap.pprof`).
+func heapProfile() []byte {
+	p := pprof.Lookup("heap")
+	if p == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 0); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}

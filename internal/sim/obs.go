@@ -8,7 +8,11 @@ import "stabledispatch/internal/obs"
 var (
 	obsFrames          = obs.GetOrCreateCounter("sim_frames_total")
 	obsDispatchSeconds = obs.GetOrCreateHistogram("sim_dispatch_frame_seconds")
-	obsPendingDepth    = obs.GetOrCreateGauge("sim_pending_requests")
+	// obsCommitSeconds closes the stage family from the engine side:
+	// assignment installation plus the stability audit, the part of a
+	// dispatch the pluggable Dispatcher doesn't own.
+	obsCommitSeconds = obs.GetOrCreateHistogram(`dispatch_stage_seconds{stage="commit"}`)
+	obsPendingDepth  = obs.GetOrCreateGauge("sim_pending_requests")
 	// obsExpired counts patience-exceeded abandonments: requests the
 	// engine dropped because no dispatch arrived within the patience
 	// bound. The abandon event counter below tracks the same lifecycle

@@ -23,6 +23,7 @@ import (
 	"stabledispatch/internal/geo"
 	"stabledispatch/internal/obs"
 	"stabledispatch/internal/pref"
+	"stabledispatch/internal/prof"
 	"stabledispatch/internal/slo"
 	"stabledispatch/internal/tseries"
 )
@@ -423,17 +424,32 @@ func (s *Simulator) Done() bool {
 // finished frame is appended to the ring.
 func (s *Simulator) Step() error {
 	rec := s.cfg.KPI
-	if rec == nil {
+	ld := prof.Active()
+	if rec == nil && ld == nil {
 		return s.step()
 	}
 	frame := s.frame
 	allocs0 := s.kpi.readAllocs()
+	if ld != nil {
+		ld.BeginFrame(int64(frame))
+	}
 	start := time.Now()
 	if err := s.step(); err != nil {
 		return err
 	}
-	sample := s.recordKPI(rec, frame, time.Since(start), s.kpi.readAllocs()-allocs0)
-	s.watchFrame(sample)
+	wall := time.Since(start)
+	allocs := s.kpi.readAllocs() - allocs0
+	if rec != nil {
+		sample := s.recordKPI(rec, frame, wall, allocs)
+		s.watchFrame(sample)
+	}
+	if ld != nil {
+		// Sealed after the KPI sample is recorded and watched, so an
+		// overrun capture's flight-recorder bundle already holds the
+		// overrun frame itself. The wall/allocs handed to the ledger are
+		// the exact values recorded as the sample's FrameNs/Allocs.
+		ld.EndFrame(int64(frame), wall.Nanoseconds(), int64(allocs))
+	}
 	return nil
 }
 
@@ -588,18 +604,24 @@ func (s *Simulator) dispatch() error {
 	if err != nil {
 		return fmt.Errorf("sim: dispatcher %s frame %d: %w", s.cfg.Dispatcher.Name(), s.frame, err)
 	}
+	// Frame commit: install the assignments, then audit the realized
+	// matching for stability while the pre-dispatch view is still in
+	// hand. The commit stage closes the pipeline in the stage ledger.
+	tm := obs.StartTimer(obsCommitSeconds)
+	sp := prof.Begin(prof.StageCommit)
 	seenTaxi := make(map[int]bool, len(assignments))
 	for _, a := range assignments {
 		if err := s.apply(a, seenTaxi); err != nil {
+			tm.ObserveDuration()
+			sp.End()
 			return fmt.Errorf("sim: dispatcher %s frame %d: %w", s.cfg.Dispatcher.Name(), s.frame, err)
 		}
 	}
-	// Frame commit: the assignments are installed; audit the realized
-	// matching for stability while the pre-dispatch view is still in
-	// hand.
 	if rec := dtrace.Active(); rec != nil {
 		s.certifyFrame(rec, frame, assignments)
 	}
+	tm.ObserveDuration()
+	sp.End()
 	return nil
 }
 

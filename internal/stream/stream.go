@@ -54,10 +54,16 @@ const (
 	// TopicNotices carries exceptional conditions: dispatch degrades,
 	// taxi breakdowns, flight-recorder triggers.
 	TopicNotices Topic = "notice"
+	// TopicProf carries the frame-budget profiler's per-frame stage
+	// attribution (one prof.FrameReport per dispatch frame).
+	TopicProf Topic = "prof"
 )
 
 // Topics lists every topic, in render order.
-var Topics = []Topic{TopicKPI, TopicSLO, TopicAdmission, TopicEvents, TopicNotices}
+var Topics = []Topic{TopicKPI, TopicSLO, TopicAdmission, TopicEvents, TopicNotices, TopicProf}
+
+// numTopics sizes the fixed per-topic arrays below.
+const numTopics = 6
 
 // topicIndex maps a topic to its slot in the per-topic subscriber
 // counts; -1 for unknown topics.
@@ -100,9 +106,9 @@ type Hub struct {
 	seq  atomic.Uint64
 	// nsubs[i] counts subscribers interested in Topics[i]; Publish
 	// reads it lock-free to skip encoding when nobody is listening.
-	nsubs [5]atomic.Int32
+	nsubs [numTopics]atomic.Int32
 
-	published [5]*obs.Counter
+	published [numTopics]*obs.Counter
 	dropped   *obs.Counter
 	subsGauge *obs.Gauge
 }
@@ -219,7 +225,7 @@ func (h *Hub) Subscribers() int {
 // waking on Wait. All methods are safe for concurrent use.
 type Sub struct {
 	hub    *Hub
-	topics [5]bool
+	topics [numTopics]bool
 	notify chan struct{}
 
 	mu        sync.Mutex

@@ -379,3 +379,89 @@ func BenchmarkAppendSSE(b *testing.B) {
 	}
 	_ = fmt.Sprint(len(buf))
 }
+
+// TestParseTopicsEdges pins the parser's tolerance: empty segments and
+// stray whitespace are skipped, duplicates pass through verbatim (the
+// subscriber's topic set dedupes them), and every registered topic —
+// including prof — round-trips by name.
+func TestParseTopicsEdges(t *testing.T) {
+	got, err := ParseTopics("kpi,,  ,slo,")
+	if err != nil || len(got) != 2 || got[0] != TopicKPI || got[1] != TopicSLO {
+		t.Fatalf("ParseTopics with empty segments = %v, %v; want [kpi slo]", got, err)
+	}
+	got, err = ParseTopics("prof,prof")
+	if err != nil || len(got) != 2 || got[0] != TopicProf || got[1] != TopicProf {
+		t.Fatalf("ParseTopics(\"prof,prof\") = %v, %v; want duplicates preserved", got, err)
+	}
+	var all []string
+	for _, tp := range Topics {
+		all = append(all, string(tp))
+	}
+	got, err = ParseTopics(strings.Join(all, ","))
+	if err != nil || len(got) != len(Topics) {
+		t.Fatalf("ParseTopics(all) = %v, %v; want every registered topic", got, err)
+	}
+}
+
+// TestSubscribeDuplicateTopics pins that subscribing with a repeated
+// topic (as ParseTopics can produce) neither double-delivers messages
+// nor corrupts the hub's per-topic subscriber counts on detach.
+func TestSubscribeDuplicateTopics(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(16, TopicProf, TopicProf)
+	h.Publish(TopicProf, 1, json.RawMessage(`{"frame":1}`))
+	if got := drainAll(sub); len(got) != 1 {
+		t.Fatalf("duplicate-topic subscriber saw %d copies, want 1", len(got))
+	}
+	if !h.Wants(TopicProf) {
+		t.Fatal("hub should report a prof subscriber")
+	}
+	sub.Close()
+	if h.Wants(TopicProf) {
+		t.Fatal("prof subscriber count leaked after Close")
+	}
+}
+
+// TestSSEReaderCRLF pins that the client parser accepts CRLF line
+// endings: proxies and Windows-side tooling rewrite bare LF, and the
+// SSE spec permits both.
+func TestSSEReaderCRLF(t *testing.T) {
+	wire := ": hb\r\n\r\nevent: kpi\r\nid: 7\r\ndata: {\"frame\":7}\r\n\r\n"
+	r := NewReader(strings.NewReader(wire))
+	ev, err := r.ReadEvent()
+	if err != nil || !ev.IsHeartbeat() || ev.Comment != "hb" {
+		t.Fatalf("CRLF heartbeat = %+v, %v", ev, err)
+	}
+	ev, err = r.ReadEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Name != "kpi" || ev.ID != 7 || string(ev.Data) != `{"frame":7}` {
+		t.Fatalf("CRLF event = %+v, want kpi/7/{\"frame\":7}", ev)
+	}
+	if _, err := r.ReadEvent(); err != io.EOF {
+		t.Fatalf("trailing read = %v, want io.EOF", err)
+	}
+}
+
+// TestSSEReaderCommentOnlyHeartbeats pins that a run of comment-only
+// frames (idle-stream keepalives) parses as distinct heartbeats and
+// never swallows the data event that follows them.
+func TestSSEReaderCommentOnlyHeartbeats(t *testing.T) {
+	var wire []byte
+	for i := 0; i < 3; i++ {
+		wire = AppendSSEComment(wire, "hb")
+	}
+	wire = AppendSSE(wire, Msg{Topic: TopicProf, Seq: 9, Frame: 2, Data: []byte(`{"frame":2}`)})
+	r := NewReader(bytes.NewReader(wire))
+	for i := 0; i < 3; i++ {
+		ev, err := r.ReadEvent()
+		if err != nil || !ev.IsHeartbeat() {
+			t.Fatalf("heartbeat %d = %+v, %v", i, ev, err)
+		}
+	}
+	ev, err := r.ReadEvent()
+	if err != nil || ev.Name != string(TopicProf) || ev.ID != 9 {
+		t.Fatalf("post-heartbeat event = %+v, %v", ev, err)
+	}
+}

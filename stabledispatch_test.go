@@ -390,8 +390,8 @@ func TestFacadeStreamHub(t *testing.T) {
 	if ActiveStreamHub() != hub {
 		t.Fatal("ActiveStreamHub did not return the installed hub")
 	}
-	if topics := StreamTopics(); len(topics) != 5 {
-		t.Fatalf("StreamTopics() = %v, want 5 topics", topics)
+	if topics := StreamTopics(); len(topics) != 6 {
+		t.Fatalf("StreamTopics() = %v, want 6 topics", topics)
 	}
 	sub := hub.Subscribe(65536, "events")
 	defer sub.Close()
